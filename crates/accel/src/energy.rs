@@ -1,0 +1,152 @@
+//! Per-access energy table — the Accelergy role in the paper's framework.
+//!
+//! Values follow the well-known Eyeriss energy hierarchy (Chen et al.):
+//! relative to a 16-bit MAC, a register-file access is cheap, a NoC hop and
+//! global-buffer access cost a few ×, and DRAM costs ~100–200×. Buffer
+//! access energy grows with capacity (CACTI-style ~√size scaling).
+
+use serde::{Deserialize, Serialize};
+
+/// Energy per elementary action, picojoules.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyTable {
+    /// One 16-bit multiply-accumulate.
+    pub mac_pj: f64,
+    /// One PE register-file access.
+    pub rf_pj: f64,
+    /// One on-chip network hop (PE-to-PE / buffer-to-PE).
+    pub noc_pj: f64,
+    /// One global-buffer access at the reference capacity.
+    pub glb_base_pj: f64,
+    /// Reference global-buffer capacity for `glb_base_pj`, KiB.
+    pub glb_reference_kib: f64,
+    /// One DRAM access per 16-bit word.
+    pub dram_pj: f64,
+    /// Static/leakage energy per PE per cycle.
+    pub static_pe_pj: f64,
+    /// Fixed system energy per cycle regardless of array size (control,
+    /// clock tree, DRAM interface idle) — this is what makes undersized
+    /// arrays pay for their longer runtimes.
+    pub system_static_pj: f64,
+}
+
+impl EnergyTable {
+    /// The classic Eyeriss 45/65 nm-era energy hierarchy (kept for
+    /// reference and cross-checking against the published numbers).
+    #[must_use]
+    pub fn eyeriss_45nm() -> Self {
+        Self {
+            mac_pj: 2.2,
+            rf_pj: 1.0,
+            noc_pj: 2.0,
+            glb_base_pj: 6.0,
+            glb_reference_kib: 64.0,
+            dram_pj: 200.0,
+            static_pe_pj: 0.5,
+            system_static_pj: 120.0,
+        }
+    }
+
+    /// Same-node (Samsung 8 nm-class, the RTX 3090's node) energy
+    /// hierarchy — the table the DSE uses so the accelerator-vs-GPU
+    /// comparison is iso-technology, as in the paper's limit study.
+    /// Logic energies scale down ~7× from the 45 nm-era table; DRAM
+    /// interface energy scales much less.
+    #[must_use]
+    pub fn samsung_8nm_class() -> Self {
+        Self {
+            mac_pj: 0.25,
+            rf_pj: 0.1,
+            noc_pj: 0.22,
+            glb_base_pj: 0.8,
+            glb_reference_kib: 64.0,
+            dram_pj: 120.0,
+            static_pe_pj: 0.5,
+            system_static_pj: 40.0,
+        }
+    }
+
+    /// Access energy of a global buffer of `capacity_kib`, pJ.
+    ///
+    /// Scales as the square root of capacity around the reference point
+    /// (CACTI-style wordline/bitline growth).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity_kib` is not positive.
+    #[must_use]
+    pub fn glb_access_pj(&self, capacity_kib: f64) -> f64 {
+        assert!(
+            capacity_kib > 0.0,
+            "buffer capacity must be positive, got {capacity_kib}"
+        );
+        self.glb_base_pj * (capacity_kib / self.glb_reference_kib).sqrt()
+    }
+}
+
+impl EnergyTable {
+    /// Rescales the table's arithmetic and traffic energies for a numeric
+    /// precision (the shipped tables assume 16-bit operands).
+    #[must_use]
+    pub fn for_precision(mut self, precision: sudc_compute::precision::Precision) -> Self {
+        use sudc_compute::precision::Precision;
+        let base = Precision::Fp16;
+        let mac_scale = precision.mac_energy_factor() / base.mac_energy_factor();
+        let width_scale = f64::from(precision.bits()) / f64::from(base.bits());
+        self.mac_pj *= mac_scale;
+        self.rf_pj *= width_scale;
+        self.noc_pj *= width_scale;
+        self.glb_base_pj *= width_scale;
+        self.dram_pj *= width_scale;
+        self
+    }
+}
+
+impl Default for EnergyTable {
+    fn default() -> Self {
+        Self::samsung_8nm_class()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hierarchy_is_ordered() {
+        let t = EnergyTable::eyeriss_45nm();
+        assert!(t.rf_pj < t.noc_pj);
+        assert!(t.noc_pj < t.glb_base_pj);
+        assert!(t.glb_base_pj < t.dram_pj);
+        assert!(t.dram_pj / t.mac_pj > 50.0, "DRAM must dominate MACs");
+    }
+
+    #[test]
+    fn glb_energy_scales_with_sqrt_capacity() {
+        let t = EnergyTable::eyeriss_45nm();
+        let e64 = t.glb_access_pj(64.0);
+        let e256 = t.glb_access_pj(256.0);
+        assert!((e256 / e64 - 2.0).abs() < 1e-9);
+        assert!((e64 - t.glb_base_pj).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = EnergyTable::eyeriss_45nm().glb_access_pj(0.0);
+    }
+
+    #[test]
+    fn precision_rescaling_orders_tables() {
+        use sudc_compute::precision::Precision;
+        let base = EnergyTable::samsung_8nm_class();
+        let int8 = base.for_precision(Precision::Int8);
+        let fp32 = base.for_precision(Precision::Fp32);
+        assert!(int8.mac_pj < base.mac_pj);
+        assert!(fp32.mac_pj > base.mac_pj);
+        assert!(int8.dram_pj < fp32.dram_pj);
+        // FP16 is the identity.
+        let same = base.for_precision(Precision::Fp16);
+        assert!((same.mac_pj - base.mac_pj).abs() < 1e-12);
+    }
+}

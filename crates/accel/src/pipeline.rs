@@ -1,0 +1,152 @@
+//! Per-layer accelerator pipeline timing and buffering (paper Fig. 18).
+//!
+//! The extreme-heterogeneity design chains one accelerator per layer with
+//! double-buffered I/O feature buffers, "enabling asynchronous pipelined
+//! execution". Energy is the sum of stage energies (see
+//! [`crate::dataflow`]); this module adds the *timing* view — stage
+//! latencies, the bottleneck stage that sets throughput, and the SRAM the
+//! double buffers require.
+
+use serde::Serialize;
+use sudc_compute::networks::Network;
+use sudc_units::Seconds;
+
+use crate::dataflow::count_accesses;
+use crate::design::AcceleratorConfig;
+
+/// Clock frequency of the accelerator fabric, Hz.
+pub const CLOCK_HZ: f64 = 1.0e9;
+
+/// Bytes per activation word in the inter-stage buffers.
+const WORD_BYTES: u64 = 2;
+
+/// Timing analysis of one per-layer pipeline.
+#[derive(Debug, Clone, Serialize)]
+pub struct PipelineTiming {
+    /// Per-stage latency for one input, seconds.
+    pub stage_latencies: Vec<Seconds>,
+    /// Index of the bottleneck (slowest) stage.
+    pub bottleneck_stage: usize,
+    /// Steady-state throughput, inferences per second.
+    pub throughput: f64,
+    /// Fill latency of one inference through the whole pipeline.
+    pub fill_latency: Seconds,
+    /// Total double-buffer SRAM between stages, bytes.
+    pub interstage_buffer_bytes: u64,
+}
+
+/// Analyzes a per-layer pipeline where stage `i` runs `configs[i]`.
+///
+/// # Panics
+///
+/// Panics if `configs` does not supply one configuration per layer, or the
+/// network is empty.
+#[must_use]
+pub fn analyze_pipeline(network: &Network, configs: &[AcceleratorConfig]) -> PipelineTiming {
+    assert!(!network.layers.is_empty(), "network has no layers");
+    assert_eq!(
+        configs.len(),
+        network.layers.len(),
+        "need one accelerator config per layer"
+    );
+    let stage_latencies: Vec<Seconds> = network
+        .layers
+        .iter()
+        .zip(configs)
+        .map(|(layer, &cfg)| {
+            let cycles = count_accesses(cfg, layer).cycles;
+            Seconds::new(cycles / CLOCK_HZ)
+        })
+        .collect();
+    let (bottleneck_stage, bottleneck) = stage_latencies
+        .iter()
+        .copied()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite latencies"))
+        .expect("non-empty pipeline");
+    let fill_latency: Seconds = stage_latencies.iter().copied().sum();
+    // Double buffers hold each non-final layer's output twice.
+    let interstage_buffer_bytes: u64 = network.layers[..network.layers.len() - 1]
+        .iter()
+        .map(|l| 2 * WORD_BYTES * l.output_activations())
+        .sum();
+    PipelineTiming {
+        stage_latencies,
+        bottleneck_stage,
+        throughput: 1.0 / bottleneck.value(),
+        fill_latency,
+        interstage_buffer_bytes,
+    }
+}
+
+/// Analyzes a homogeneous pipeline (the Fig. 18a global design): every
+/// stage uses the same configuration.
+#[must_use]
+pub fn analyze_homogeneous(network: &Network, config: AcceleratorConfig) -> PipelineTiming {
+    let configs = vec![config; network.layers.len()];
+    analyze_pipeline(network, &configs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sudc_compute::networks::NetworkId;
+
+    fn net() -> Network {
+        NetworkId::ResNet50.network()
+    }
+
+    #[test]
+    fn pipeline_throughput_is_set_by_the_bottleneck() {
+        let t = analyze_homogeneous(&net(), AcceleratorConfig::reference());
+        let slowest = t.stage_latencies[t.bottleneck_stage];
+        assert!((t.throughput - 1.0 / slowest.value()).abs() / t.throughput < 1e-12);
+        for s in &t.stage_latencies {
+            assert!(*s <= slowest);
+        }
+    }
+
+    #[test]
+    fn fill_latency_is_sum_of_stages() {
+        let t = analyze_homogeneous(&net(), AcceleratorConfig::reference());
+        let sum: Seconds = t.stage_latencies.iter().copied().sum();
+        assert!((t.fill_latency - sum).abs() < Seconds::new(1e-15));
+        assert!(t.fill_latency.value() > 0.0);
+    }
+
+    #[test]
+    fn per_layer_configs_beat_homogeneous_throughput() {
+        // Give the bottleneck layer a bigger array than the global config.
+        let network = net();
+        let global = AcceleratorConfig::reference();
+        let base = analyze_homogeneous(&network, global);
+        let mut configs = vec![global; network.layers.len()];
+        configs[base.bottleneck_stage] = AcceleratorConfig {
+            pe_x: 28,
+            pe_y: 32,
+            ..global
+        };
+        let tuned = analyze_pipeline(&network, &configs);
+        assert!(tuned.throughput >= base.throughput);
+    }
+
+    #[test]
+    fn buffer_requirement_is_megabytes_for_resnet() {
+        let t = analyze_homogeneous(&net(), AcceleratorConfig::reference());
+        let mb = t.interstage_buffer_bytes as f64 / 1e6;
+        assert!(mb > 1.0 && mb < 200.0, "buffers {mb} MB");
+    }
+
+    #[test]
+    fn throughput_is_realtime_for_eo_rates() {
+        // Six tiles/min per satellite is far below pipeline throughput.
+        let t = analyze_homogeneous(&net(), AcceleratorConfig::reference());
+        assert!(t.throughput > 1.0, "inferences/s {}", t.throughput);
+    }
+
+    #[test]
+    #[should_panic(expected = "one accelerator config per layer")]
+    fn mismatched_configs_panic() {
+        let _ = analyze_pipeline(&net(), &[AcceleratorConfig::reference()]);
+    }
+}

@@ -1,0 +1,103 @@
+//! Criterion benchmarks — one per reproduced table/figure.
+//!
+//! Each benchmark measures the full regeneration of one experiment's rows,
+//! so `cargo bench` doubles as an end-to-end smoke test of every analysis
+//! path (the figure generators assert internally via `expect`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use sudc_bench::experiments;
+
+fn bench_tables(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tables");
+    g.sample_size(20);
+    g.bench_function("table1_inputs", |b| b.iter(|| black_box(experiments::table1())));
+    g.bench_function("table2_hardware", |b| b.iter(|| black_box(experiments::table2())));
+    g.bench_function("table3_workloads", |b| b.iter(|| black_box(experiments::table3())));
+    g.finish();
+}
+
+fn bench_tco_sweeps(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tco_sweeps");
+    g.sample_size(10);
+    g.bench_function("fig3_breakdown", |b| b.iter(|| black_box(experiments::fig3())));
+    g.bench_function("fig4_lifetime", |b| b.iter(|| black_box(experiments::fig4())));
+    g.bench_function("fig5_power", |b| b.iter(|| black_box(experiments::fig5())));
+    g.bench_function("fig6_mass", |b| b.iter(|| black_box(experiments::fig6())));
+    g.finish();
+}
+
+fn bench_comms(c: &mut Criterion) {
+    let mut g = c.benchmark_group("comms");
+    g.sample_size(10);
+    g.bench_function("fig7_isl", |b| b.iter(|| black_box(experiments::fig7())));
+    g.bench_function("fig8_saturation", |b| b.iter(|| black_box(experiments::fig8())));
+    g.bench_function("fig10_compression", |b| b.iter(|| black_box(experiments::fig10())));
+    g.finish();
+}
+
+fn bench_architecture(c: &mut Criterion) {
+    let mut g = c.benchmark_group("architecture");
+    g.sample_size(10);
+    g.bench_function("fig9_hardware", |b| b.iter(|| black_box(experiments::fig9())));
+    g.bench_function("fig11_breakdowns", |b| b.iter(|| black_box(experiments::fig11())));
+    g.bench_function("fig15_efficiency", |b| b.iter(|| black_box(experiments::fig15())));
+    g.bench_function("fig16_priced", |b| b.iter(|| black_box(experiments::fig16())));
+    g.finish();
+}
+
+fn bench_dse(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dse");
+    g.sample_size(10);
+    g.bench_function("fig17_full_7168_design_sweep", |b| {
+        b.iter(|| black_box(experiments::fig17()));
+    });
+    g.finish();
+}
+
+fn bench_fleet(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fleet");
+    g.sample_size(10);
+    g.bench_function("fig19_collaborative", |b| b.iter(|| black_box(experiments::fig19())));
+    g.bench_function("fig21_sensitivity", |b| b.iter(|| black_box(experiments::fig21())));
+    g.bench_function("fig22_wright", |b| b.iter(|| black_box(experiments::fig22())));
+    g.bench_function("fig23_distributed", |b| b.iter(|| black_box(experiments::fig23())));
+    g.finish();
+}
+
+fn bench_reliability(c: &mut Criterion) {
+    let mut g = c.benchmark_group("reliability");
+    g.sample_size(10);
+    g.bench_function("fig12_radiator", |b| b.iter(|| black_box(experiments::fig12())));
+    g.bench_function("fig24_availability", |b| b.iter(|| black_box(experiments::fig24())));
+    g.bench_function("fig25_capacity", |b| b.iter(|| black_box(experiments::fig25())));
+    g.bench_function("fig26_tid", |b| b.iter(|| black_box(experiments::fig26())));
+    g.bench_function("fig27_softerror", |b| b.iter(|| black_box(experiments::fig27())));
+    g.bench_function("fig28_redundancy", |b| b.iter(|| black_box(experiments::fig28())));
+    g.finish();
+}
+
+fn bench_extensions(c: &mut Criterion) {
+    let mut g = c.benchmark_group("extensions");
+    g.sample_size(10);
+    g.bench_function("extA_latency", |b| b.iter(|| black_box(experiments::ext_latency())));
+    g.bench_function("extB_sparing_monte_carlo", |b| {
+        b.iter(|| black_box(experiments::ext_sparing()));
+    });
+    g.bench_function("extC_tornado", |b| b.iter(|| black_box(experiments::ext_tornado())));
+    g.bench_function("extD_ablations", |b| b.iter(|| black_box(experiments::ext_ablation())));
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_tables,
+    bench_tco_sweeps,
+    bench_comms,
+    bench_architecture,
+    bench_dse,
+    bench_fleet,
+    bench_reliability,
+    bench_extensions
+);
+criterion_main!(benches);

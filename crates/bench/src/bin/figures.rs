@@ -1,0 +1,70 @@
+//! Regenerates the paper's tables and figures as text reports.
+//!
+//! ```text
+//! figures              # list available experiments
+//! figures all          # run everything
+//! figures fig5 fig17   # run specific experiments
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use sudc_bench::{all_experiments, run_experiment};
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+
+    // Optional: --out <dir> writes each report to <dir>/<id>.txt as well.
+    let mut out_dir: Option<PathBuf> = None;
+    if let Some(pos) = args.iter().position(|a| a == "--out") {
+        if pos + 1 >= args.len() {
+            eprintln!("--out requires a directory argument");
+            return ExitCode::FAILURE;
+        }
+        out_dir = Some(PathBuf::from(args.remove(pos + 1)));
+        args.remove(pos);
+    }
+
+    if args.is_empty() {
+        eprintln!("usage: figures [--out DIR] <experiment id>... | all\n\navailable experiments:");
+        for (id, desc) in all_experiments() {
+            eprintln!("  {id:8} {desc}");
+        }
+        return ExitCode::FAILURE;
+    }
+    let ids: Vec<String> = if args.iter().any(|a| a == "all") {
+        all_experiments().iter().map(|(id, _)| (*id).to_string()).collect()
+    } else {
+        args
+    };
+    if let Some(dir) = &out_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    let mut failed = false;
+    for id in ids {
+        match run_experiment(&id) {
+            Some(report) => {
+                println!("{report}");
+                if let Some(dir) = &out_dir {
+                    let path = dir.join(format!("{id}.txt"));
+                    if let Err(e) = std::fs::write(&path, &report) {
+                        eprintln!("cannot write {}: {e}", path.display());
+                        failed = true;
+                    }
+                }
+            }
+            None => {
+                eprintln!("unknown experiment: {id} (run with no args to list)");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

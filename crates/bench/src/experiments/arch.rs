@@ -1,0 +1,158 @@
+//! Figures 3, 9, 11, 15, 16: architecture and breakdown analyses.
+
+use sudc_core::analysis::architecture;
+use sudc_terrestrial::PriceScaling;
+use sudc_units::Watts;
+
+use crate::format::{percent, ratio, table};
+
+/// Fig. 3: 4 kW SµDC subsystem cost breakdown under the SSCM-SµDC and the
+/// SEER-style accounting.
+#[must_use]
+pub fn fig3() -> String {
+    let power = Watts::from_kilowatts(4.0);
+    let ours = architecture::cost_breakdown(power).expect("4 kW design is valid");
+    let seer = architecture::seer_style_breakdown(power).expect("4 kW design is valid");
+    let rows: Vec<Vec<String>> = ours
+        .iter()
+        .zip(&seer)
+        .map(|((line, a), (_, b))| vec![line.to_string(), percent(*a), percent(*b)])
+        .collect();
+    format!(
+        "Fig. 3: 4 kW SuDC cost breakdown (two accountings)\n{}",
+        table(&["line", "SSCM-SuDC", "SEER-style"], &rows)
+    )
+}
+
+/// Fig. 9: TCO and FLOPs per TCO dollar across processing architectures.
+#[must_use]
+pub fn fig9() -> String {
+    let rows: Vec<Vec<String>> = architecture::tco_vs_architecture(Watts::from_kilowatts(4.0))
+        .expect("4 kW design is valid")
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.hardware.name.to_string(),
+                ratio(r.relative_tco),
+                format!("{:.0}", r.payload_tflops),
+                ratio(r.relative_flops_per_tco_dollar),
+            ]
+        })
+        .collect();
+    format!(
+        "Fig. 9: TCO vs architecture (4 kW; relative to RTX 3090)\n{}",
+        table(
+            &["hardware", "relative TCO", "payload TFLOPS", "rel. FLOPS/$TCO"],
+            &rows
+        )
+    )
+}
+
+/// Fig. 11: TCO category breakdown, satellite vs. terrestrial models.
+#[must_use]
+pub fn fig11() -> String {
+    let cols = architecture::breakdown_comparison(Watts::from_kilowatts(4.0))
+        .expect("4 kW design is valid");
+    let categories = ["Servers", "Power", "Networking", "Infrastructure", "Other"];
+    let mut headers = vec!["category".to_string()];
+    for c in &cols {
+        headers.push(c.label.clone());
+    }
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let rows: Vec<Vec<String>> = categories
+        .iter()
+        .map(|cat| {
+            let mut row = vec![(*cat).to_string()];
+            for col in &cols {
+                let share = col
+                    .shares
+                    .iter()
+                    .find(|(name, _)| name == cat)
+                    .map_or(0.0, |(_, s)| *s);
+                row.push(percent(share));
+            }
+            row
+        })
+        .collect();
+    format!(
+        "Fig. 11: normalized TCO categories\n{}",
+        table(&header_refs, &rows)
+    )
+}
+
+fn efficiency_figure(title: &str, pricing: PriceScaling) -> String {
+    let scalars = [1.0, 2.0, 5.0, 10.0, 50.0, 100.0, 200.0, 1000.0];
+    let series =
+        architecture::efficiency_scaling(Watts::from_kilowatts(4.0), &scalars, pricing)
+            .expect("4 kW design is valid");
+    let mut headers = vec!["scalar".to_string()];
+    for s in &series {
+        headers.push(s.label.clone());
+    }
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let rows: Vec<Vec<String>> = scalars
+        .iter()
+        .enumerate()
+        .map(|(i, &sc)| {
+            let mut row = vec![format!("{sc}")];
+            for s in &series {
+                row.push(ratio(s.points[i].1));
+            }
+            row
+        })
+        .collect();
+    format!("{title}\n{}", table(&header_refs, &rows))
+}
+
+/// Fig. 15: relative TCO vs. energy-efficiency scalar, hardware cost
+/// invariant.
+#[must_use]
+pub fn fig15() -> String {
+    efficiency_figure(
+        "Fig. 15: relative TCO vs energy efficiency (hardware cost invariant)",
+        PriceScaling::Constant,
+    )
+}
+
+/// Fig. 16: same with logarithmic hardware price scaling.
+#[must_use]
+pub fn fig16() -> String {
+    efficiency_figure(
+        "Fig. 16: relative TCO vs energy efficiency (log hardware pricing)",
+        PriceScaling::Logarithmic,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_has_both_accountings() {
+        let f = fig3();
+        assert!(f.contains("SSCM-SuDC") && f.contains("SEER-style"));
+        assert!(f.contains("Power"));
+    }
+
+    #[test]
+    fn fig9_lists_three_gpus() {
+        let f = fig9();
+        for name in ["RTX 3090", "A100", "H100"] {
+            assert!(f.contains(name));
+        }
+    }
+
+    #[test]
+    fn fig11_has_five_categories() {
+        let f = fig11();
+        for cat in ["Servers", "Power", "Networking", "Infrastructure", "Other"] {
+            assert!(f.contains(cat));
+        }
+    }
+
+    #[test]
+    fn fig15_and_16_include_in_space_series() {
+        assert!(fig15().contains("In-Space"));
+        assert!(fig16().contains("On-Earth (LPO)"));
+    }
+}

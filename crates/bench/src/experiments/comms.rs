@@ -1,0 +1,117 @@
+//! Figures 7, 8, 10: communication analyses.
+
+use sudc_core::analysis::comms;
+use sudc_units::{GigabitsPerSecond, Watts};
+
+use crate::format::{ratio, table};
+
+/// Fig. 7: TCO vs. provisioned ISL capacity for 0.5/4/10 kW SµDCs.
+#[must_use]
+pub fn fig7() -> String {
+    let rates: Vec<GigabitsPerSecond> = [0.0, 5.0, 10.0, 25.0, 50.0, 100.0, 200.0, 400.0]
+        .iter()
+        .map(|&r| GigabitsPerSecond::new(r))
+        .collect();
+    let powers = [
+        Watts::new(500.0),
+        Watts::from_kilowatts(4.0),
+        Watts::from_kilowatts(10.0),
+    ];
+    let mut rows = Vec::new();
+    let curves: Vec<Vec<(GigabitsPerSecond, f64)>> = powers
+        .iter()
+        .map(|&p| comms::tco_vs_isl(p, &rates).expect("sweep is valid"))
+        .collect();
+    for (i, rate) in rates.iter().enumerate() {
+        rows.push(vec![
+            format!("{}", rate.value()),
+            ratio(curves[0][i].1),
+            ratio(curves[1][i].1),
+            ratio(curves[2][i].1),
+        ]);
+    }
+    format!(
+        "Fig. 7: TCO vs ISL capacity (relative to no-ISL design of same power)\n{}",
+        table(&["ISL (Gbit/s)", "500 W", "4 kW", "10 kW"], &rows)
+    )
+}
+
+/// Fig. 8: ISL rates required to saturate RTX 3090 payloads per application.
+#[must_use]
+pub fn fig8() -> String {
+    let powers = [
+        Watts::new(500.0),
+        Watts::from_kilowatts(2.0),
+        Watts::from_kilowatts(4.0),
+        Watts::from_kilowatts(10.0),
+    ];
+    let tbl = comms::isl_saturation_table(&powers);
+    let rows: Vec<Vec<String>> = tbl
+        .iter()
+        .map(|row| {
+            let mut cells = vec![row.workload.to_string()];
+            for (_, rate) in &row.requirements {
+                cells.push(format!("{:.1}", rate.value()));
+            }
+            cells
+        })
+        .collect();
+    format!(
+        "Fig. 8: ISL rate (Gbit/s) to saturate compute, per application\n{}",
+        table(&["application", "0.5 kW", "2 kW", "4 kW", "10 kW"], &rows)
+    )
+}
+
+/// Fig. 10: TCO vs. compute energy efficiency for a 4 kW SµDC under
+/// different compression algorithms.
+#[must_use]
+pub fn fig10() -> String {
+    let scalars = [1.0, 2.0, 5.0, 10.0, 50.0, 100.0, 1000.0];
+    let series =
+        comms::compression_impact(Watts::from_kilowatts(4.0), &scalars).expect("sweep is valid");
+    let mut headers = vec!["scalar".to_string()];
+    for s in &series {
+        headers.push(s.compression.to_string());
+    }
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let rows: Vec<Vec<String>> = scalars
+        .iter()
+        .enumerate()
+        .map(|(i, &sc)| {
+            let mut row = vec![format!("{sc}")];
+            for s in &series {
+                row.push(ratio(s.points[i].1));
+            }
+            row
+        })
+        .collect();
+    format!(
+        "Fig. 10: TCO vs energy efficiency under compression (relative to uncompressed @ 1x)\n{}",
+        table(&header_refs, &rows)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig7_covers_three_sizes() {
+        let f = fig7();
+        assert!(f.contains("500 W") && f.contains("10 kW"));
+    }
+
+    #[test]
+    fn fig8_lists_all_applications() {
+        let f = fig8();
+        assert!(f.contains("Traffic Monitoring"));
+        assert!(f.contains("Panoptic Segmentation"));
+    }
+
+    #[test]
+    fn fig10_has_all_algorithms() {
+        let f = fig10();
+        assert!(f.contains("CCSDS 121"));
+        assert!(f.contains("neural quasi-lossless"));
+    }
+}

@@ -1,0 +1,114 @@
+//! Figures 4–6: TCO and mass sweeps.
+
+use sudc_core::analysis::sweeps;
+use sudc_units::{Watts, Years};
+
+use crate::format::{ratio, table};
+
+fn kw(x: f64) -> Watts {
+    Watts::from_kilowatts(x)
+}
+
+/// Fig. 4: TCO vs. lifetime for 0.5/4/10 kW SµDCs, relative to the 500 W
+/// SµDC with a one-year lifetime.
+#[must_use]
+pub fn fig4() -> String {
+    let lifetimes: Vec<Years> = (1..=10).map(|y| Years::new(f64::from(y))).collect();
+    let series = sweeps::tco_vs_lifetime(&[kw(0.5), kw(4.0), kw(10.0)], &lifetimes)
+        .expect("sweep is valid");
+    let rows: Vec<Vec<String>> = lifetimes
+        .iter()
+        .enumerate()
+        .map(|(i, l)| {
+            let mut row = vec![format!("{}", l.value())];
+            for s in &series {
+                row.push(ratio(s.points[i].1));
+            }
+            row
+        })
+        .collect();
+    format!(
+        "Fig. 4: TCO vs lifetime (relative to 500 W @ 1 yr)\n{}",
+        table(&["lifetime (yr)", "500 W", "4 kW", "10 kW"], &rows)
+    )
+}
+
+/// Fig. 5: TCO vs. compute power with per-subsystem breakdown, relative to
+/// the total cost of a 500 W SµDC.
+#[must_use]
+pub fn fig5() -> String {
+    let powers: Vec<Watts> = [0.5, 1.0, 2.0, 4.0, 6.0, 8.0, 10.0]
+        .iter()
+        .map(|&x| kw(x))
+        .collect();
+    let points = sweeps::tco_vs_power(&powers).expect("sweep is valid");
+    let mut headers = vec!["line".to_string()];
+    for p in &points {
+        headers.push(format!("{} kW", p.power.as_kilowatts()));
+    }
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut rows = Vec::new();
+    for (li, (line, _)) in points[0].breakdown.iter().enumerate() {
+        let mut row = vec![line.to_string()];
+        for p in &points {
+            row.push(ratio(p.breakdown[li].1));
+        }
+        rows.push(row);
+    }
+    let mut total = vec!["TOTAL".to_string()];
+    for p in &points {
+        total.push(ratio(p.relative_tco));
+    }
+    rows.push(total);
+    format!(
+        "Fig. 5: TCO vs compute power (relative to 500 W total)\n{}",
+        table(&header_refs, &rows)
+    )
+}
+
+/// Fig. 6: satellite mass vs. compute power, relative to the 500 W SµDC.
+#[must_use]
+pub fn fig6() -> String {
+    let powers: Vec<Watts> = [0.5, 1.0, 2.0, 4.0, 6.0, 8.0, 10.0]
+        .iter()
+        .map(|&x| kw(x))
+        .collect();
+    let points = sweeps::mass_vs_power(&powers).expect("sweep is valid");
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                format!("{}", p.power.as_kilowatts()),
+                ratio(p.relative_mass),
+                format!("{:.1}%", 100.0 * p.payload_mass_share),
+            ]
+        })
+        .collect();
+    format!(
+        "Fig. 6: mass vs compute power (relative to 500 W total mass)\n{}",
+        table(&["power (kW)", "relative mass", "compute share"], &rows)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig4_has_ten_lifetimes() {
+        let f = fig4();
+        assert_eq!(f.lines().count(), 13);
+        assert!(f.contains("10 kW"));
+    }
+
+    #[test]
+    fn fig5_total_row_is_last() {
+        let f = fig5();
+        assert!(f.trim_end().lines().last().unwrap().trim_start().starts_with("TOTAL"));
+    }
+
+    #[test]
+    fn fig6_reports_payload_share() {
+        assert!(fig6().contains('%'));
+    }
+}

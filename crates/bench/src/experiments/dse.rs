@@ -1,0 +1,60 @@
+//! Figure 17: accelerator design-space exploration results.
+
+use sudc_accel::dse::{run_full_dse, SystemArchitecture};
+
+use crate::format::table;
+
+/// Fig. 17: energy-efficiency improvements of accelerator architectures
+/// over the commodity GPU baseline, from the full 7 168-design sweep.
+#[must_use]
+pub fn fig17() -> String {
+    let outcome = run_full_dse();
+    let mut rows: Vec<Vec<String>> = outcome
+        .networks
+        .iter()
+        .map(|n| {
+            vec![
+                n.network.to_string(),
+                format!("{:.1}", n.improvement(SystemArchitecture::GlobalAccelerator)),
+                format!(
+                    "{:.1}",
+                    n.improvement(SystemArchitecture::PerNetworkAccelerator)
+                ),
+                format!("{:.1}", n.improvement(SystemArchitecture::PerLayerAccelerator)),
+            ]
+        })
+        .collect();
+    rows.push(vec![
+        "GEOMEAN".to_string(),
+        format!(
+            "{:.1}",
+            outcome.mean_improvement(SystemArchitecture::GlobalAccelerator)
+        ),
+        format!(
+            "{:.1}",
+            outcome.mean_improvement(SystemArchitecture::PerNetworkAccelerator)
+        ),
+        format!(
+            "{:.1}",
+            outcome.mean_improvement(SystemArchitecture::PerLayerAccelerator)
+        ),
+    ]);
+    format!(
+        "Fig. 17: energy-efficiency improvement over RTX 3090 ({} designs; global best: {})\n{}",
+        outcome.designs_evaluated,
+        outcome.global_best,
+        table(&["network", "global", "per-network", "per-layer"], &rows)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig17_reports_geomean_and_design_count() {
+        let f = fig17();
+        assert!(f.contains("GEOMEAN"));
+        assert!(f.contains("7168"));
+    }
+}

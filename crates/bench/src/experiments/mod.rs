@@ -1,0 +1,119 @@
+//! One generator per paper table/figure.
+//!
+//! Every generator is a pure `fn() -> String` returning the rows the paper
+//! reports; [`run_experiment`] dispatches by id (`"fig5"`, `"table3"`, …)
+//! and [`all_experiments`] lists everything for the `figures` binary.
+
+mod arch;
+mod comms;
+mod cost;
+mod dse;
+mod extensions;
+mod fleet;
+mod reliability;
+mod tables;
+
+pub use arch::{fig11, fig15, fig16, fig3, fig9};
+pub use comms::{fig10, fig7, fig8};
+pub use cost::{fig4, fig5, fig6};
+pub use dse::fig17;
+pub use extensions::{ext_ablation, ext_latency, ext_precision, ext_sparing, ext_tornado};
+pub use fleet::{fig19, fig21, fig22, fig23};
+pub use reliability::{fig12, fig24, fig25, fig26, fig27, fig28};
+pub use tables::{table1, table2, table3};
+
+/// All experiment ids in paper order, with a one-line description.
+#[must_use]
+pub fn all_experiments() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("table1", "SSCM-SuDC input parameter derivations"),
+        ("table2", "GPU and rad-hard hardware catalog"),
+        ("table3", "EO application performance on RTX 3090"),
+        ("fig3", "4 kW SuDC subsystem cost breakdown (two accountings)"),
+        ("fig4", "TCO vs lifetime for 0.5/4/10 kW SuDCs"),
+        ("fig5", "TCO vs compute power (subsystem breakdown)"),
+        ("fig6", "Satellite mass vs compute power"),
+        ("fig7", "TCO vs ISL data rate"),
+        ("fig8", "ISL rate to saturate compute, per application"),
+        ("fig9", "TCO vs processing architecture"),
+        ("fig10", "TCO vs energy efficiency under compression"),
+        ("fig11", "Satellite vs terrestrial TCO category breakdown"),
+        ("fig12", "Radiator area vs temperature"),
+        ("fig15", "TCO vs efficiency scalar (hardware price constant)"),
+        ("fig16", "TCO vs efficiency scalar (log hardware pricing)"),
+        ("fig17", "Accelerator DSE energy-efficiency improvements"),
+        ("fig19", "TCO vs edge filtering rate"),
+        ("fig21", "Collaborative constellation benefit by architecture"),
+        ("fig22", "Wright's-law marginal satellite cost"),
+        ("fig23", "Distributed vs monolithic fleet TCO"),
+        ("fig24", "Availability vs time under overprovisioning"),
+        ("fig25", "Expected usable servers vs time"),
+        ("fig26", "COTS TID tolerance vs technology node"),
+        ("fig27", "Soft-error impact on ImageNet classifiers"),
+        ("fig28", "TCO of TMR/DMR/software redundancy"),
+        ("extA", "bent-pipe vs in-space latency (extension)"),
+        ("extB", "cold vs hot sparing Monte-Carlo (extension)"),
+        ("extC", "cost-driver tornado sensitivity (extension)"),
+        ("extD", "design-choice ablations (extension)"),
+        ("extE", "accelerator DSE vs numeric precision (extension)"),
+    ]
+}
+
+/// Runs one experiment by id.
+///
+/// Returns `None` for unknown ids.
+#[must_use]
+pub fn run_experiment(id: &str) -> Option<String> {
+    let report = match id {
+        "table1" => table1(),
+        "table2" => table2(),
+        "table3" => table3(),
+        "fig3" => fig3(),
+        "fig4" => fig4(),
+        "fig5" => fig5(),
+        "fig6" => fig6(),
+        "fig7" => fig7(),
+        "fig8" => fig8(),
+        "fig9" => fig9(),
+        "fig10" => fig10(),
+        "fig11" => fig11(),
+        "fig12" => fig12(),
+        "fig15" => fig15(),
+        "fig16" => fig16(),
+        "fig17" => fig17(),
+        "fig19" => fig19(),
+        "fig21" => fig21(),
+        "fig22" => fig22(),
+        "fig23" => fig23(),
+        "fig24" => fig24(),
+        "fig25" => fig25(),
+        "fig26" => fig26(),
+        "fig27" => fig27(),
+        "fig28" => fig28(),
+        "extA" => ext_latency(),
+        "extB" => ext_sparing(),
+        "extC" => ext_tornado(),
+        "extD" => ext_ablation(),
+        "extE" => ext_precision(),
+        _ => return None,
+    };
+    Some(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_ids_all_dispatch() {
+        for (id, _) in all_experiments() {
+            let out = run_experiment(id).unwrap_or_else(|| panic!("{id} missing"));
+            assert!(!out.trim().is_empty(), "{id} produced no output");
+        }
+    }
+
+    #[test]
+    fn unknown_id_is_none() {
+        assert!(run_experiment("fig99").is_none());
+    }
+}

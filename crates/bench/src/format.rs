@@ -1,0 +1,104 @@
+//! Plain-text table formatting for experiment reports.
+
+/// Renders a fixed-width text table with a header rule.
+///
+/// # Panics
+///
+/// Panics if any row's length differs from the header's.
+///
+/// # Examples
+///
+/// ```
+/// let t = sudc_bench::format::table(
+///     &["name", "value"],
+///     &[vec!["alpha".into(), "1".into()]],
+/// );
+/// assert!(t.contains("alpha"));
+/// ```
+#[must_use]
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    for row in rows {
+        assert_eq!(
+            row.len(),
+            headers.len(),
+            "row width {} does not match header width {}",
+            row.len(),
+            headers.len()
+        );
+    }
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let render = |cells: Vec<&str>, widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    out.push_str(&render(headers.to_vec(), &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&render(row.iter().map(String::as_str).collect(), &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a ratio with three significant decimals.
+#[must_use]
+pub fn ratio(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats a value in millions of dollars.
+#[must_use]
+pub fn musd(x: sudc_units::Usd) -> String {
+    format!("{:.2} $M", x.as_millions())
+}
+
+/// Formats a percentage.
+#[must_use]
+pub fn percent(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = table(
+            &["a", "bbbb"],
+            &[
+                vec!["x".into(), "1".into()],
+                vec!["long".into(), "22".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[1].chars().collect::<Vec<_>>()[0], '-');
+        assert!(lines[2].ends_with('1'));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn ragged_rows_panic() {
+        let _ = table(&["a", "b"], &[vec!["only one".into()]]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(ratio(1.23456), "1.235");
+        assert_eq!(percent(0.345), "34.5%");
+        assert_eq!(musd(sudc_units::Usd::from_millions(2.5)), "2.50 $M");
+    }
+}

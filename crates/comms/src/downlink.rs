@@ -1,0 +1,138 @@
+//! Insight downlink sizing (paper Fig. 14's results analyzer).
+//!
+//! After in-space processing, "the results are sent to an analyzer, which
+//! determines whether the results are 'insights' which should be downlinked
+//! to Earth, or whether the results contain little relevant information, in
+//! which case they can be discarded." Insights are tiny relative to raw
+//! imagery — this module quantifies how much downlink a SµDC still needs,
+//! which is the bandwidth argument for in-space processing.
+
+use serde::{Deserialize, Serialize};
+use sudc_units::{GigabitsPerSecond, MegapixelsPerSecond};
+
+/// The downlink product class an application emits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InsightKind {
+    /// Scalar or per-image labels (classification, regression): bytes per
+    /// image.
+    Labels,
+    /// Bounding boxes / detections: hundreds of bytes per image.
+    Detections,
+    /// Dense masks, heavily compressible (segmentation): a small fraction
+    /// of the pixel volume.
+    Masks,
+}
+
+impl InsightKind {
+    /// Output bits per processed input pixel.
+    #[must_use]
+    pub fn bits_per_input_pixel(self) -> f64 {
+        match self {
+            // A few hundred bytes per ~67 Mpixel frame.
+            Self::Labels => 3e-5,
+            // Tens of kilobytes per frame.
+            Self::Detections => 3e-3,
+            // 1-bit masks with run-length coding: ~2% of a 12-bit pixel.
+            Self::Masks => 0.25,
+        }
+    }
+}
+
+/// Downlink requirement of an in-space processing pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InsightDownlink {
+    /// Product class.
+    pub kind: InsightKind,
+    /// Fraction of processed frames that contain an insight worth sending.
+    pub insight_fraction: f64,
+}
+
+impl InsightDownlink {
+    /// Creates a sizing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `insight_fraction` is not in [0, 1].
+    #[must_use]
+    pub fn new(kind: InsightKind, insight_fraction: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&insight_fraction),
+            "insight fraction must be in [0, 1], got {insight_fraction}"
+        );
+        Self {
+            kind,
+            insight_fraction,
+        }
+    }
+
+    /// Downlink rate needed for a processed pixel stream.
+    #[must_use]
+    pub fn required_rate(&self, processed: MegapixelsPerSecond) -> GigabitsPerSecond {
+        let bits_per_second =
+            processed.value() * 1e6 * self.kind.bits_per_input_pixel() * self.insight_fraction;
+        GigabitsPerSecond::new(bits_per_second / 1e9)
+    }
+
+    /// Bandwidth reduction versus downlinking the raw 12-bit pixels.
+    #[must_use]
+    pub fn reduction_vs_raw(&self) -> f64 {
+        12.0 / (self.kind.bits_per_input_pixel() * self.insight_fraction.max(1e-12))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn labels_reduce_bandwidth_by_many_orders_of_magnitude() {
+        let d = InsightDownlink::new(InsightKind::Labels, 0.2);
+        assert!(d.reduction_vs_raw() > 1e6);
+    }
+
+    #[test]
+    fn even_dense_masks_cut_an_order_of_magnitude() {
+        let d = InsightDownlink::new(InsightKind::Masks, 1.0);
+        assert!(d.reduction_vs_raw() > 40.0);
+    }
+
+    #[test]
+    fn a_constellation_of_insights_fits_an_x_band_downlink() {
+        // 64 satellites x ~4 Mpixel/s processed, detections on 30% of frames:
+        // the whole constellation's insights fit a fraction of X-band.
+        let processed = MegapixelsPerSecond::new(64.0 * 4.0);
+        let rate = InsightDownlink::new(InsightKind::Detections, 0.3)
+            .required_rate(processed)
+            .value();
+        assert!(rate < 0.5, "insight downlink {rate} Gbit/s");
+        assert!(rate > 0.0);
+    }
+
+    #[test]
+    fn required_rate_scales_with_throughput() {
+        let d = InsightDownlink::new(InsightKind::Masks, 0.5);
+        let r1 = d.required_rate(MegapixelsPerSecond::new(10.0));
+        let r2 = d.required_rate(MegapixelsPerSecond::new(20.0));
+        assert!((r2.value() / r1.value() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "insight fraction")]
+    fn out_of_range_fraction_panics() {
+        let _ = InsightDownlink::new(InsightKind::Labels, 1.5);
+    }
+
+    proptest! {
+        #[test]
+        fn masks_always_need_more_than_labels(
+            frac in 0.01..1.0f64,
+            mpx in 0.1..1000.0f64,
+        ) {
+            let processed = MegapixelsPerSecond::new(mpx);
+            let labels = InsightDownlink::new(InsightKind::Labels, frac).required_rate(processed);
+            let masks = InsightDownlink::new(InsightKind::Masks, frac).required_rate(processed);
+            prop_assert!(masks > labels);
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! Free-space-optics (laser) inter-satellite link terminals.
+//!
+//! Mass, power, and data rates are anchored to published values for existing
+//! commercial systems (Mynaric Condor-class LEO–LEO terminals and LEO–GEO
+//! relay terminals), per the paper's Table I derivations.
+
+use serde::{Deserialize, Serialize};
+use sudc_units::{GigabitsPerSecond, Kilograms, Watts};
+
+/// Link topology class, which sets the terminal's size/power envelope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LinkClass {
+    /// LEO-to-LEO crosslink (short range, high rate).
+    LeoToLeo,
+    /// LEO-to-GEO/MEO relay (long range, lower rate per watt).
+    LeoToGeo,
+}
+
+/// A cataloged commercial optical terminal.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct FsoTerminal {
+    /// Product-style name.
+    pub name: &'static str,
+    /// Link class.
+    pub class: LinkClass,
+    /// Peak data rate.
+    pub data_rate: GigabitsPerSecond,
+    /// Terminal mass.
+    pub mass: Kilograms,
+    /// Operating power draw.
+    pub power: Watts,
+}
+
+/// Catalog of existing commercial terminals (Table I: "Optical ISLs mass,
+/// power, and data rates are based on published values for existing
+/// commercial systems").
+#[must_use]
+pub fn terminal_catalog() -> Vec<FsoTerminal> {
+    vec![
+        FsoTerminal {
+            name: "Condor-class LEO crosslink",
+            class: LinkClass::LeoToLeo,
+            data_rate: GigabitsPerSecond::new(100.0),
+            mass: Kilograms::new(14.0),
+            power: Watts::new(120.0),
+        },
+        FsoTerminal {
+            name: "Compact LEO crosslink",
+            class: LinkClass::LeoToLeo,
+            data_rate: GigabitsPerSecond::new(10.0),
+            mass: Kilograms::new(6.0),
+            power: Watts::new(45.0),
+        },
+        FsoTerminal {
+            name: "GEO relay terminal",
+            class: LinkClass::LeoToGeo,
+            data_rate: GigabitsPerSecond::new(10.0),
+            mass: Kilograms::new(35.0),
+            power: Watts::new(160.0),
+        },
+    ]
+}
+
+/// Today's LEO–LEO FSO electrical efficiency, watts per Gbit/s (derived from
+/// the catalog's Condor-class point: 120 W / 100 Gbit/s plus pointing and
+/// electronics overhead).
+pub const TODAYS_W_PER_GBPS: f64 = 5.0;
+
+/// Fixed terminal mass (telescope, gimbal, electronics), kg.
+const FIXED_TERMINAL_MASS_KG: f64 = 5.0;
+
+/// Rate-proportional terminal mass, kg per Gbit/s.
+const MASS_PER_GBPS_KG: f64 = 0.09;
+
+/// A rate-parametric ISL sized for a required capacity.
+///
+/// # Examples
+///
+/// ```
+/// use sudc_comms::fso::FsoLink;
+/// use sudc_units::GigabitsPerSecond;
+///
+/// let link = FsoLink::for_rate(GigabitsPerSecond::new(25.0));
+/// assert!((link.power.value() - 125.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FsoLink {
+    /// Provisioned capacity.
+    pub data_rate: GigabitsPerSecond,
+    /// Electrical power draw.
+    pub power: Watts,
+    /// Terminal mass.
+    pub mass: Kilograms,
+}
+
+impl FsoLink {
+    /// Sizes a LEO–LEO link for `rate` at today's FSO power efficiency.
+    #[must_use]
+    pub fn for_rate(rate: GigabitsPerSecond) -> Self {
+        Self::for_rate_with_efficiency(rate, 1.0)
+    }
+
+    /// Sizes a link for `rate` assuming FSO power efficiency improved by
+    /// `efficiency_scalar` (≥ 1) over today — e.g. DARPA Space-BACN-style
+    /// terminals (paper §IV-B discussion).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is negative/non-finite or `efficiency_scalar < 1`.
+    #[must_use]
+    pub fn for_rate_with_efficiency(rate: GigabitsPerSecond, efficiency_scalar: f64) -> Self {
+        assert!(
+            rate.is_finite() && rate.value() >= 0.0,
+            "ISL rate must be finite and non-negative, got {rate}"
+        );
+        assert!(
+            efficiency_scalar >= 1.0,
+            "efficiency scalar must be >= 1, got {efficiency_scalar}"
+        );
+        let power = Watts::new(rate.value() * TODAYS_W_PER_GBPS / efficiency_scalar);
+        let mass = if rate.value() == 0.0 {
+            Kilograms::ZERO
+        } else {
+            Kilograms::new(FIXED_TERMINAL_MASS_KG + MASS_PER_GBPS_KG * rate.value())
+        };
+        Self {
+            data_rate: rate,
+            power,
+            mass,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn catalog_is_nonempty_and_physical() {
+        let cat = terminal_catalog();
+        assert!(cat.len() >= 3);
+        for t in &cat {
+            assert!(t.data_rate.value() > 0.0, "{}", t.name);
+            assert!(t.mass.value() > 0.0, "{}", t.name);
+            assert!(t.power.value() > 0.0, "{}", t.name);
+        }
+    }
+
+    #[test]
+    fn geo_terminals_are_heavier_per_gbps() {
+        let cat = terminal_catalog();
+        let leo = cat.iter().find(|t| t.class == LinkClass::LeoToLeo).unwrap();
+        let geo = cat.iter().find(|t| t.class == LinkClass::LeoToGeo).unwrap();
+        let leo_kg_per_gbps = leo.mass.value() / leo.data_rate.value();
+        let geo_kg_per_gbps = geo.mass.value() / geo.data_rate.value();
+        assert!(geo_kg_per_gbps > leo_kg_per_gbps);
+    }
+
+    #[test]
+    fn link_power_follows_todays_efficiency() {
+        let link = FsoLink::for_rate(GigabitsPerSecond::new(25.0));
+        assert!((link.power.value() - 25.0 * TODAYS_W_PER_GBPS).abs() < 1e-12);
+    }
+
+    #[test]
+    fn efficiency_scalar_reduces_power_not_mass() {
+        let base = FsoLink::for_rate(GigabitsPerSecond::new(50.0));
+        let future = FsoLink::for_rate_with_efficiency(GigabitsPerSecond::new(50.0), 10.0);
+        assert!((future.power.value() - base.power.value() / 10.0).abs() < 1e-9);
+        assert_eq!(future.mass, base.mass);
+    }
+
+    #[test]
+    fn zero_rate_link_is_free() {
+        let link = FsoLink::for_rate(GigabitsPerSecond::ZERO);
+        assert_eq!(link.power, Watts::ZERO);
+        assert_eq!(link.mass, Kilograms::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "efficiency scalar")]
+    fn sub_unity_efficiency_panics() {
+        let _ = FsoLink::for_rate_with_efficiency(GigabitsPerSecond::new(1.0), 0.5);
+    }
+
+    proptest! {
+        #[test]
+        fn link_monotone_in_rate(r1 in 0.0..500.0f64, r2 in 0.0..500.0f64) {
+            let (lo, hi) = if r1 <= r2 { (r1, r2) } else { (r2, r1) };
+            let l_lo = FsoLink::for_rate(GigabitsPerSecond::new(lo));
+            let l_hi = FsoLink::for_rate(GigabitsPerSecond::new(hi));
+            prop_assert!(l_lo.power <= l_hi.power);
+            prop_assert!(l_lo.mass <= l_hi.mass);
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! Free-space-optics link-budget physics.
+//!
+//! The rate-parametric sizing in [`crate::fso`] abstracts terminal power as
+//! W/Gbit/s; this module provides the underlying physics — transmit power,
+//! beam divergence, aperture, range, and receiver sensitivity — so
+//! LEO–LEO vs. LEO–GEO trades (and future Space-BACN-class terminals) can
+//! be derived rather than cataloged.
+
+use serde::{Deserialize, Serialize};
+use sudc_units::{GigabitsPerSecond, Meters, Watts};
+
+/// Planck's constant, J·s.
+const PLANCK: f64 = 6.626_070_15e-34;
+/// Speed of light, m/s.
+const C: f64 = 2.997_924_58e8;
+
+/// An optical link design.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OpticalLink {
+    /// Optical transmit power.
+    pub transmit_power: Watts,
+    /// Full-angle beam divergence, radians.
+    pub beam_divergence_rad: f64,
+    /// Receive aperture diameter.
+    pub aperture: Meters,
+    /// Carrier wavelength, meters (1550 nm telecom band by default).
+    pub wavelength: Meters,
+    /// Receiver sensitivity, photons per bit (including coding margin).
+    pub photons_per_bit: f64,
+    /// Combined optical-path efficiency (pointing, optics, atmosphere).
+    pub path_efficiency: f64,
+}
+
+impl OpticalLink {
+    /// A Condor-class LEO crosslink terminal: ~1 W optical, 12 µrad beam,
+    /// 8 cm aperture, 1550 nm, ~500 photons/bit with coding margin.
+    #[must_use]
+    pub fn leo_crosslink() -> Self {
+        Self {
+            transmit_power: Watts::new(1.0),
+            beam_divergence_rad: 12e-6,
+            aperture: Meters::new(0.08),
+            wavelength: Meters::new(1550e-9),
+            photons_per_bit: 500.0,
+            path_efficiency: 0.5,
+        }
+    }
+
+    /// Energy per photon at the carrier wavelength, J.
+    #[must_use]
+    pub fn photon_energy(&self) -> f64 {
+        PLANCK * C / self.wavelength.value()
+    }
+
+    /// Received optical power at `range`.
+    ///
+    /// Geometric spreading only: the beam grows to `θ·R` diameter and the
+    /// aperture captures its area fraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` is not positive.
+    #[must_use]
+    pub fn received_power(&self, range: Meters) -> Watts {
+        assert!(
+            range.value() > 0.0,
+            "link range must be positive, got {range}"
+        );
+        let beam_diameter = self.beam_divergence_rad * range.value();
+        let capture = (self.aperture.value() / beam_diameter).powi(2).min(1.0);
+        self.transmit_power * capture * self.path_efficiency
+    }
+
+    /// Achievable data rate at `range` for the receiver's sensitivity.
+    ///
+    /// ```
+    /// use sudc_comms::linkbudget::OpticalLink;
+    /// use sudc_units::Meters;
+    ///
+    /// // A Condor-class terminal sustains ~100 Gbit/s at LEO crosslink
+    /// // ranges (a few thousand km).
+    /// let rate = OpticalLink::leo_crosslink().achievable_rate(Meters::new(2000e3));
+    /// assert!(rate.value() > 50.0 && rate.value() < 500.0);
+    /// ```
+    #[must_use]
+    pub fn achievable_rate(&self, range: Meters) -> GigabitsPerSecond {
+        let energy_per_bit = self.photons_per_bit * self.photon_energy();
+        let bits_per_second = self.received_power(range).value() / energy_per_bit;
+        GigabitsPerSecond::new(bits_per_second / 1e9)
+    }
+
+    /// Maximum range sustaining `rate` (inverse of [`Self::achievable_rate`]).
+    #[must_use]
+    pub fn max_range(&self, rate: GigabitsPerSecond) -> Meters {
+        assert!(rate.value() > 0.0, "rate must be positive");
+        let energy_per_bit = self.photons_per_bit * self.photon_energy();
+        let needed_power = rate.value() * 1e9 * energy_per_bit;
+        // received = tx * eff * (D / (theta R))^2  =>  R = (D/theta) sqrt(tx*eff/needed)
+        let ratio = (self.transmit_power.value() * self.path_efficiency / needed_power).sqrt();
+        Meters::new(self.aperture.value() / self.beam_divergence_rad * ratio)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn leo_crosslink_sustains_100gbps_class_rates() {
+        let rate = OpticalLink::leo_crosslink().achievable_rate(Meters::new(2000e3));
+        assert!(rate.value() > 50.0, "got {rate}");
+    }
+
+    #[test]
+    fn geo_relay_range_cuts_the_rate_by_distance_squared() {
+        let link = OpticalLink::leo_crosslink();
+        let leo = link.achievable_rate(Meters::new(2000e3));
+        let geo = link.achievable_rate(Meters::new(40_000e3));
+        let expected = (40_000f64 / 2000.0).powi(2);
+        assert!((leo.value() / geo.value() - expected).abs() / expected < 1e-9);
+    }
+
+    #[test]
+    fn capture_fraction_saturates_at_unity() {
+        // At very short range the aperture exceeds the beam: no gain > 1.
+        let link = OpticalLink::leo_crosslink();
+        let p = link.received_power(Meters::new(1.0));
+        assert!(p <= link.transmit_power);
+    }
+
+    #[test]
+    fn rate_and_range_are_inverse() {
+        let link = OpticalLink::leo_crosslink();
+        let rate = GigabitsPerSecond::new(25.0);
+        let range = link.max_range(rate);
+        let back = link.achievable_rate(range);
+        assert!((back.value() - rate.value()).abs() / rate.value() < 1e-9);
+    }
+
+    #[test]
+    fn photon_energy_at_1550nm() {
+        let e = OpticalLink::leo_crosslink().photon_energy();
+        assert!((e - 1.28e-19).abs() < 0.02e-19, "got {e}");
+    }
+
+    #[test]
+    #[should_panic(expected = "range must be positive")]
+    fn zero_range_panics() {
+        let _ = OpticalLink::leo_crosslink().received_power(Meters::ZERO);
+    }
+
+    proptest! {
+        #[test]
+        fn rate_monotone_decreasing_in_range(
+            r1 in 100e3..50_000e3f64,
+            r2 in 100e3..50_000e3f64,
+        ) {
+            let link = OpticalLink::leo_crosslink();
+            let (lo, hi) = if r1 <= r2 { (r1, r2) } else { (r2, r1) };
+            prop_assert!(
+                link.achievable_rate(Meters::new(hi)) <= link.achievable_rate(Meters::new(lo))
+            );
+        }
+
+        #[test]
+        fn more_transmit_power_never_hurts(p in 0.1..20.0f64) {
+            let mut link = OpticalLink::leo_crosslink();
+            let base = link.achievable_rate(Meters::new(2000e3));
+            link.transmit_power = Watts::new(p + 1.0);
+            link.transmit_power = link.transmit_power.max(Watts::new(1.0));
+            prop_assert!(link.achievable_rate(Meters::new(2000e3)) >= base);
+        }
+    }
+}

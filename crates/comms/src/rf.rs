@@ -1,0 +1,54 @@
+//! X-band RF baseline.
+//!
+//! SSCM's C&DH cost driver was regressed against RF-era satellites, so the
+//! paper downscales FSO rates by the FSO/X-band bandwidth ratio before
+//! feeding them to the CER ("Failure to do this downscaling results in
+//! unreasonably high C&DH cost estimates").
+
+use sudc_units::GigabitsPerSecond;
+
+/// Representative peak X-band downlink rate for a small satellite.
+pub const XBAND_PEAK_RATE: GigabitsPerSecond = GigabitsPerSecond::new(0.5);
+
+/// Representative peak commercial FSO crosslink rate.
+pub const FSO_PEAK_RATE: GigabitsPerSecond = GigabitsPerSecond::new(100.0);
+
+/// Bandwidth ratio between FSO and X-band RF (~two orders of magnitude).
+#[must_use]
+pub fn fso_to_xband_ratio() -> f64 {
+    FSO_PEAK_RATE.value() / XBAND_PEAK_RATE.value()
+}
+
+/// Downscales an FSO data rate to its RF-equivalent C&DH cost driver.
+///
+/// # Examples
+///
+/// ```
+/// use sudc_comms::rf::equivalent_rf_rate;
+/// use sudc_units::GigabitsPerSecond;
+///
+/// let driver = equivalent_rf_rate(GigabitsPerSecond::new(100.0));
+/// assert_eq!(driver, GigabitsPerSecond::new(0.5));
+/// ```
+#[must_use]
+pub fn equivalent_rf_rate(fso_rate: GigabitsPerSecond) -> GigabitsPerSecond {
+    fso_rate / fso_to_xband_ratio()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_is_orders_of_magnitude() {
+        let r = fso_to_xband_ratio();
+        assert!(r >= 100.0, "FSO should be >= 100x X-band, got {r}");
+    }
+
+    #[test]
+    fn downscaling_is_linear() {
+        let a = equivalent_rf_rate(GigabitsPerSecond::new(10.0));
+        let b = equivalent_rf_rate(GigabitsPerSecond::new(20.0));
+        assert!((b.value() / a.value() - 2.0).abs() < 1e-12);
+    }
+}

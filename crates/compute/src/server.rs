@@ -1,0 +1,174 @@
+//! Packaging chips into flyable compute payloads.
+//!
+//! The paper's key mass observation: "Even after packaging, PCB integration,
+//! adding cooling, etc., an NVIDIA A40 GPU server has specific power
+//! exceeding 35 W/kg", so compute hardware is only a few percent of mass
+//! (Fig. 6) and its monetary cost is under 1 % of TCO (Fig. 5).
+
+use serde::Serialize;
+use sudc_units::{Kilograms, Usd, Watts, WattsPerKilogram};
+
+use crate::hardware::HardwareSpec;
+
+/// Packaged specific power of a space-grade GPU server (W of compute TDP
+/// per kg of server incl. PCB, chassis, cold plates).
+pub const SERVER_SPECIFIC_POWER: WattsPerKilogram = WattsPerKilogram::new(35.0);
+
+/// Integration cost multiplier over bare-chip price (PCBs, memory, chassis,
+/// qualification screening).
+const PACKAGING_COST_FACTOR: f64 = 1.8;
+
+/// A compute payload: `count` units of one architecture packaged as servers.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ComputePayload {
+    /// The processing architecture flown.
+    pub hardware: HardwareSpec,
+    /// Number of powered units (TDP-limited by the power budget).
+    pub units: u32,
+    /// Power budget the payload fills.
+    pub budget: Watts,
+}
+
+impl ComputePayload {
+    /// Fills `budget` watts with as many units of `hardware` as fit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the hardware has no TDP entry (payloads must be sized by
+    /// power) or the budget is negative.
+    #[must_use]
+    pub fn fill(hardware: HardwareSpec, budget: Watts) -> Self {
+        assert!(
+            budget.is_finite() && budget.value() >= 0.0,
+            "power budget must be finite and non-negative, got {budget}"
+        );
+        let units = hardware.units_for_budget(budget);
+        Self {
+            hardware,
+            units,
+            budget,
+        }
+    }
+
+    /// Actual power drawn at full utilization (`units × TDP`).
+    #[must_use]
+    pub fn power(&self) -> Watts {
+        let tdp = self.hardware.tdp.expect("payload hardware has a TDP");
+        tdp * f64::from(self.units)
+    }
+
+    /// Packaged payload mass at the server specific power.
+    ///
+    /// ```
+    /// use sudc_compute::hardware::rtx_3090;
+    /// use sudc_compute::server::ComputePayload;
+    /// use sudc_units::Watts;
+    ///
+    /// let p = ComputePayload::fill(rtx_3090(), Watts::from_kilowatts(4.0));
+    /// // 11 GPUs x 350 W at 35 W/kg -> 110 kg.
+    /// assert!((p.mass().value() - 110.0).abs() < 1.0);
+    /// ```
+    #[must_use]
+    pub fn mass(&self) -> Kilograms {
+        Kilograms::new(self.power().value() / SERVER_SPECIFIC_POWER.value())
+    }
+
+    /// Packaged hardware procurement cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the hardware has no list price.
+    #[must_use]
+    pub fn price(&self) -> Usd {
+        let unit = self.hardware.price.expect("payload hardware has a price");
+        unit * f64::from(self.units) * PACKAGING_COST_FACTOR
+    }
+
+    /// Price including `spares` powered-off cold-spare units (the paper's
+    /// near-zero-cost overprovisioning: spares add hardware cost and a
+    /// little mass but no power, §VII).
+    #[must_use]
+    pub fn price_with_spares(&self, spares: u32) -> Usd {
+        let unit = self.hardware.price.expect("payload hardware has a price");
+        self.price() + unit * f64::from(spares) * PACKAGING_COST_FACTOR
+    }
+
+    /// Mass including cold spares.
+    #[must_use]
+    pub fn mass_with_spares(&self, spares: u32) -> Kilograms {
+        if self.units == 0 {
+            return self.mass();
+        }
+        let per_unit = self.mass() / f64::from(self.units);
+        self.mass() + per_unit * f64::from(spares)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hardware::{a100, h100, rtx_3090};
+    use proptest::prelude::*;
+
+    #[test]
+    fn four_kw_rtx_payload() {
+        let p = ComputePayload::fill(rtx_3090(), Watts::from_kilowatts(4.0));
+        assert_eq!(p.units, 11);
+        assert_eq!(p.power(), Watts::new(3850.0));
+        assert!((p.mass().value() - 110.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn payload_mass_is_a_few_percent_of_a_satellite() {
+        // Fig. 6's claim: compute is a small share of total mass. A 4 kW
+        // payload is ~110 kg vs a ~1000 kg class satellite.
+        let p = ComputePayload::fill(rtx_3090(), Watts::from_kilowatts(4.0));
+        assert!(p.mass().value() < 150.0);
+    }
+
+    #[test]
+    fn commodity_hardware_cost_is_small() {
+        // 11 RTX 3090s, packaged: well under $100k — tiny next to a
+        // multi-million-dollar satellite.
+        let p = ComputePayload::fill(rtx_3090(), Watts::from_kilowatts(4.0));
+        assert!(p.price().value() < 100_000.0);
+    }
+
+    #[test]
+    fn datacenter_gpus_cost_more_but_still_a_fraction() {
+        let rtx = ComputePayload::fill(rtx_3090(), Watts::from_kilowatts(4.0));
+        let a = ComputePayload::fill(a100(), Watts::from_kilowatts(4.0));
+        let h = ComputePayload::fill(h100(), Watts::from_kilowatts(4.0));
+        assert!(a.price() > rtx.price());
+        assert!(h.price() > a.price());
+        assert!(h.price().as_millions() < 1.0);
+    }
+
+    #[test]
+    fn spares_add_cost_and_mass_but_not_power() {
+        let p = ComputePayload::fill(rtx_3090(), Watts::from_kilowatts(4.0));
+        let with = p.price_with_spares(11);
+        assert!((with.value() / p.price().value() - 2.0).abs() < 1e-9);
+        assert!((p.mass_with_spares(11).value() / p.mass().value() - 2.0).abs() < 1e-9);
+        assert_eq!(p.power(), ComputePayload::fill(rtx_3090(), p.budget).power());
+    }
+
+    #[test]
+    fn zero_budget_payload_is_empty() {
+        let p = ComputePayload::fill(rtx_3090(), Watts::ZERO);
+        assert_eq!(p.units, 0);
+        assert_eq!(p.power(), Watts::ZERO);
+        assert_eq!(p.mass(), Kilograms::ZERO);
+        assert_eq!(p.price(), Usd::ZERO);
+    }
+
+    proptest! {
+        #[test]
+        fn payload_power_never_exceeds_budget(budget in 0.0..20_000.0f64) {
+            let p = ComputePayload::fill(rtx_3090(), Watts::new(budget));
+            prop_assert!(p.power().value() <= budget);
+            // And it fills within one TDP of the budget.
+            prop_assert!(budget - p.power().value() < 350.0);
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Earth-observation constellation data production and compute demand.
+
+use serde::{Deserialize, Serialize};
+use sudc_compute::workloads::Workload;
+use sudc_orbital::imaging::Imager;
+use sudc_orbital::CircularOrbit;
+use sudc_units::{GigabitsPerSecond, MegapixelsPerSecond, Watts};
+
+/// Fraction of orbit time an EO satellite actually images (eclipse, ocean
+/// passes, and duty-cycle limits keep imagers below continuous operation).
+pub const DEFAULT_IMAGING_DUTY_CYCLE: f64 = 0.6;
+
+/// A constellation of identical EO satellites feeding SµDCs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EoConstellation {
+    /// Number of EO satellites.
+    pub satellites: u32,
+    /// Imager flown by each satellite.
+    pub imager: Imager,
+    /// Shared orbit.
+    pub orbit: CircularOrbit,
+    /// Imaging duty cycle in (0, 1].
+    pub duty_cycle: f64,
+}
+
+impl EoConstellation {
+    /// A constellation of `satellites` reference EO satellites (the paper's
+    /// working configuration is 64).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `satellites` is zero.
+    #[must_use]
+    pub fn reference(satellites: u32) -> Self {
+        assert!(satellites > 0, "a constellation needs at least one satellite");
+        Self {
+            satellites,
+            imager: Imager::reference(),
+            orbit: CircularOrbit::reference_leo(),
+            duty_cycle: DEFAULT_IMAGING_DUTY_CYCLE,
+        }
+    }
+
+    /// Aggregate pixel production rate of the constellation.
+    #[must_use]
+    pub fn pixel_rate(&self) -> MegapixelsPerSecond {
+        self.imager.pixel_rate(self.orbit) * self.duty_cycle * f64::from(self.satellites)
+    }
+
+    /// Aggregate raw data rate toward the SµDC.
+    #[must_use]
+    pub fn data_rate(&self) -> GigabitsPerSecond {
+        self.imager.data_rate(self.orbit) * self.duty_cycle * f64::from(self.satellites)
+    }
+
+    /// RTX 3090-class compute power needed to keep up with the
+    /// constellation when running `workload`.
+    #[must_use]
+    pub fn required_compute_power(&self, workload: &Workload) -> Watts {
+        let pixels_per_second = self.pixel_rate().value() * 1e6;
+        Watts::new(pixels_per_second / (workload.efficiency.value() * 1e3))
+    }
+
+    /// Number of SµDCs of the given size needed to run `workload`
+    /// (Table III's rightmost column uses 4 kW SµDCs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sudc_power` is not positive.
+    #[must_use]
+    pub fn required_sudcs(&self, workload: &Workload, sudc_power: Watts) -> u32 {
+        assert!(
+            sudc_power.value() > 0.0,
+            "SµDC power must be positive, got {sudc_power}"
+        );
+        let needed = self.required_compute_power(workload);
+        (needed.value() / sudc_power.value()).ceil().max(1.0) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sudc_compute::workloads;
+
+    fn constellation() -> EoConstellation {
+        EoConstellation::reference(64)
+    }
+
+    #[test]
+    fn table_iii_sudc_counts_are_reproduced() {
+        // Paper Table III: one 4 kW SµDC supports 64 EO satellites for all
+        // applications except Panoptic Segmentation, which needs 4.
+        let four_kw = Watts::from_kilowatts(4.0);
+        for w in workloads::suite() {
+            let n = constellation().required_sudcs(&w, four_kw);
+            assert_eq!(
+                n, w.sudcs_for_64_sats,
+                "{}: model says {n}, Table III says {}",
+                w.name, w.sudcs_for_64_sats
+            );
+        }
+    }
+
+    #[test]
+    fn demand_scales_with_constellation_size() {
+        let w = workloads::by_name("Flood Detection").unwrap();
+        let small = EoConstellation::reference(16).required_compute_power(&w);
+        let large = EoConstellation::reference(64).required_compute_power(&w);
+        assert!((large.value() / small.value() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn heavier_workloads_demand_more_power() {
+        let traffic = workloads::by_name("Traffic Monitoring").unwrap();
+        let panoptic = workloads::by_name("Panoptic Segmentation").unwrap();
+        let c = constellation();
+        assert!(c.required_compute_power(&panoptic) > c.required_compute_power(&traffic));
+    }
+
+    #[test]
+    fn aggregate_data_rate_is_a_few_gbps() {
+        // 64 satellites at ~50 Mbit/s effective each.
+        let rate = constellation().data_rate().value();
+        assert!(rate > 1.0 && rate < 10.0, "got {rate} Gbit/s");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one satellite")]
+    fn empty_constellation_panics() {
+        let _ = EoConstellation::reference(0);
+    }
+}

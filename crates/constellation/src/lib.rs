@@ -1,0 +1,24 @@
+//! Constellation-architecture primitives (paper §V and §VI).
+//!
+//! - [`eo`] — Earth-observation constellation data production and the
+//!   compute demand it places on SµDCs (Table III's rightmost column);
+//! - [`collaborative`] — collaborative compute constellations: edge
+//!   filtering on EO satellites shrinks the SµDC (Figs. 19–21);
+//! - [`distributed`] — distributed vs. monolithic SµDC fleets under
+//!   Wright's-law experience effects (Figs. 22–23);
+//! - [`packing`] — first-fit-decreasing fleet packing for the *concurrent*
+//!   application suite.
+//!
+//! TCO curves for these architectures live in `sudc-core::analysis`; this
+//! crate holds the cost-model-independent structure.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collaborative;
+pub mod distributed;
+pub mod eo;
+pub mod packing;
+
+pub use collaborative::EdgeFiltering;
+pub use eo::EoConstellation;

@@ -1,0 +1,183 @@
+//! Multi-application fleet packing.
+//!
+//! Table III sizes SµDCs one application at a time; a real operator runs
+//! the whole suite simultaneously. This module packs per-application
+//! compute demands onto a fleet of fixed-size SµDCs with first-fit-
+//! decreasing bin packing, giving the fleet size for *concurrent* service.
+
+use serde::Serialize;
+use sudc_compute::workloads::Workload;
+use sudc_units::Watts;
+
+use crate::eo::EoConstellation;
+
+/// One application's placement in the packed fleet.
+#[derive(Debug, Clone, Serialize)]
+pub struct Placement {
+    /// Application name.
+    pub workload: &'static str,
+    /// Compute demand.
+    pub demand: Watts,
+    /// Index of the SµDC (bin) hosting this demand's final share.
+    pub bins: Vec<usize>,
+}
+
+/// The result of packing a workload suite onto a fleet.
+#[derive(Debug, Clone, Serialize)]
+pub struct FleetPacking {
+    /// SµDC capacity used for packing.
+    pub sudc_power: Watts,
+    /// Number of SµDCs required.
+    pub sudcs: usize,
+    /// Residual capacity per SµDC.
+    pub residuals: Vec<Watts>,
+    /// Per-application placements.
+    pub placements: Vec<Placement>,
+}
+
+impl FleetPacking {
+    /// Aggregate utilization of the fleet.
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        let capacity = self.sudc_power.value() * self.sudcs as f64;
+        let free: f64 = self.residuals.iter().map(|r| r.value()).sum();
+        1.0 - free / capacity
+    }
+}
+
+/// Packs the concurrent demands of `workloads` for `constellation` onto
+/// SµDCs of `sudc_power`, splitting oversized demands across bins
+/// (applications batch over disjoint image streams, so demand is divisible).
+///
+/// # Panics
+///
+/// Panics if `sudc_power` is not positive or `workloads` is empty.
+#[must_use]
+pub fn pack_fleet(
+    constellation: &EoConstellation,
+    workloads: &[Workload],
+    sudc_power: Watts,
+) -> FleetPacking {
+    assert!(
+        sudc_power.value() > 0.0,
+        "SµDC power must be positive, got {sudc_power}"
+    );
+    assert!(!workloads.is_empty(), "no workloads supplied");
+
+    // First-fit decreasing over divisible demands.
+    let mut demands: Vec<(&'static str, f64)> = workloads
+        .iter()
+        .map(|w| (w.name, constellation.required_compute_power(w).value()))
+        .collect();
+    demands.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite demands"));
+
+    let cap = sudc_power.value();
+    let mut residuals: Vec<f64> = Vec::new();
+    let mut placements = Vec::new();
+    for (name, mut demand) in demands.clone() {
+        let mut bins = Vec::new();
+        // Fill existing residuals first.
+        for (i, free) in residuals.iter_mut().enumerate() {
+            if demand <= 0.0 {
+                break;
+            }
+            if *free > 1e-9 {
+                let take = demand.min(*free);
+                *free -= take;
+                demand -= take;
+                bins.push(i);
+            }
+        }
+        // Open new bins for the remainder.
+        while demand > 1e-9 {
+            let take = demand.min(cap);
+            residuals.push(cap - take);
+            demand -= take;
+            bins.push(residuals.len() - 1);
+        }
+        placements.push(Placement {
+            workload: name,
+            demand: Watts::new(demands.iter().find(|d| d.0 == name).expect("present").1),
+            bins,
+        });
+    }
+
+    FleetPacking {
+        sudc_power,
+        sudcs: residuals.len(),
+        residuals: residuals.into_iter().map(Watts::new).collect(),
+        placements,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sudc_compute::workloads;
+
+    fn packing() -> FleetPacking {
+        pack_fleet(
+            &EoConstellation::reference(64),
+            &workloads::suite(),
+            Watts::from_kilowatts(4.0),
+        )
+    }
+
+    #[test]
+    fn concurrent_suite_needs_more_than_any_single_app() {
+        // Per Table III the worst single app needs 4 SµDCs; the concurrent
+        // suite needs at least that, at most the sum (13).
+        let p = packing();
+        assert!(p.sudcs >= 4, "got {}", p.sudcs);
+        assert!(p.sudcs <= 13, "got {}", p.sudcs);
+    }
+
+    #[test]
+    fn packing_is_at_least_as_tight_as_ceil_of_total_demand() {
+        let constellation = EoConstellation::reference(64);
+        let total: f64 = workloads::suite()
+            .iter()
+            .map(|w| constellation.required_compute_power(w).value())
+            .sum();
+        let lower_bound = (total / 4000.0).ceil() as usize;
+        // Divisible packing achieves the lower bound exactly.
+        assert_eq!(packing().sudcs, lower_bound);
+    }
+
+    #[test]
+    fn all_demand_is_placed() {
+        let p = packing();
+        let placed_capacity = p.sudc_power.value() * p.sudcs as f64
+            - p.residuals.iter().map(|r| r.value()).sum::<f64>();
+        let constellation = EoConstellation::reference(64);
+        let demand: f64 = workloads::suite()
+            .iter()
+            .map(|w| constellation.required_compute_power(w).value())
+            .sum();
+        assert!((placed_capacity - demand).abs() < 1.0);
+    }
+
+    #[test]
+    fn utilization_is_high_for_divisible_packing() {
+        let u = packing().utilization();
+        assert!(u > 0.8, "utilization {u}");
+        assert!(u <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn every_workload_has_at_least_one_bin() {
+        for placement in packing().placements {
+            assert!(!placement.bins.is_empty(), "{}", placement.workload);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no workloads")]
+    fn empty_suite_panics() {
+        let _ = pack_fleet(
+            &EoConstellation::reference(8),
+            &[],
+            Watts::from_kilowatts(4.0),
+        );
+    }
+}

@@ -1,0 +1,35 @@
+//! Physical constants used throughout the orbital models.
+
+/// Standard gravitational parameter of Earth, m³/s².
+pub const MU_EARTH: f64 = 3.986_004_418e14;
+
+/// Mean equatorial radius of Earth, m.
+pub const R_EARTH: f64 = 6.378_137e6;
+
+/// Standard gravity, m/s².
+pub const G0: f64 = 9.806_65;
+
+/// Solar constant at 1 AU, W/m².
+pub const SOLAR_FLUX: f64 = 1361.0;
+
+/// Stefan–Boltzmann constant, W/(m²·K⁴).
+pub const STEFAN_BOLTZMANN: f64 = 5.670_374_419e-8;
+
+/// Temperature of the deep-space background, K.
+pub const SPACE_BACKGROUND_K: f64 = 2.7;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_are_mutually_consistent() {
+        // Surface gravity recovered from mu and the Earth radius.
+        let g_surface = MU_EARTH / (R_EARTH * R_EARTH);
+        assert!((g_surface - G0).abs() / G0 < 0.003, "g = {g_surface}");
+        // A blackbody at the Sun-Earth equilibrium temperature (~278 K for
+        // a flat absorber) re-emits the solar constant over 4 faces.
+        let t_eq = (SOLAR_FLUX / (4.0 * STEFAN_BOLTZMANN)).powf(0.25);
+        assert!((t_eq - 278.6).abs() < 2.0, "T_eq = {t_eq}");
+    }
+}

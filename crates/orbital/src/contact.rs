@@ -1,0 +1,164 @@
+//! Ground-station contact and bent-pipe downlink latency.
+//!
+//! One of the paper's motivations: "moving satellite-generated data to
+//! Earth before processing increases latency — current EO image processing
+//! latencies are measured in hours, due in large part to the time it takes
+//! an LEO satellite to orbit above a downlink station" (citing L2D2). This
+//! module models that bent-pipe path so the in-space alternative can be
+//! compared quantitatively.
+
+use serde::{Deserialize, Serialize};
+use sudc_units::{Gigabits, GigabitsPerSecond, Seconds};
+
+use crate::orbit::CircularOrbit;
+
+/// A ground-station network serving a LEO downlink.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GroundNetwork {
+    /// Number of geographically distributed stations.
+    pub stations: u32,
+    /// Mean usable contact duration per pass.
+    pub pass_duration: Seconds,
+    /// Mean passes per station per day for the orbit's inclination band.
+    pub passes_per_station_per_day: f64,
+    /// Downlink rate during contact.
+    pub downlink_rate: GigabitsPerSecond,
+}
+
+impl GroundNetwork {
+    /// A typical commercial EO ground segment: a handful of polar-ish
+    /// stations, ~8-minute passes, X-band class downlink.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stations` is zero.
+    #[must_use]
+    pub fn commercial(stations: u32) -> Self {
+        assert!(stations > 0, "a ground network needs at least one station");
+        Self {
+            stations,
+            pass_duration: Seconds::new(8.0 * 60.0),
+            passes_per_station_per_day: 4.0,
+            downlink_rate: GigabitsPerSecond::new(0.5),
+        }
+    }
+
+    /// Total contacts per day across the network.
+    #[must_use]
+    pub fn contacts_per_day(&self) -> f64 {
+        f64::from(self.stations) * self.passes_per_station_per_day
+    }
+
+    /// Mean gap between downlink opportunities.
+    #[must_use]
+    pub fn mean_contact_gap(&self) -> Seconds {
+        Seconds::new(86_400.0 / self.contacts_per_day())
+    }
+
+    /// Data movable to the ground per day.
+    #[must_use]
+    pub fn daily_capacity(&self) -> Gigabits {
+        self.downlink_rate * (self.pass_duration * self.contacts_per_day())
+    }
+
+    /// Mean bent-pipe latency for an image produced at a uniformly random
+    /// time: half the contact gap (waiting for a station) plus the queueing
+    /// delay from the downlink deficit, plus transmission.
+    ///
+    /// If the satellite produces data faster than the network can drain it
+    /// (`production_rate > capacity`), the backlog grows without bound and
+    /// the latency is unbounded; this returns `None` in that regime — the
+    /// "downlink deficit" the paper's cited works address.
+    #[must_use]
+    pub fn mean_latency(
+        &self,
+        production_rate: GigabitsPerSecond,
+        image_size: Gigabits,
+    ) -> Option<Seconds> {
+        let capacity_rate = self.daily_capacity().value() / 86_400.0;
+        if production_rate.value() >= capacity_rate {
+            return None;
+        }
+        let wait = self.mean_contact_gap() * 0.5;
+        // Mean backlog at contact start: production over the gap, drained at
+        // the downlink rate while also receiving new data.
+        let gap = self.mean_contact_gap();
+        let backlog = production_rate * gap;
+        let drain_rate = self.downlink_rate.value() - production_rate.value();
+        let queueing = Seconds::new(backlog.value() / drain_rate.max(1e-9) / 2.0);
+        let transmission = Seconds::new(image_size.value() / self.downlink_rate.value());
+        Some(wait + queueing + transmission)
+    }
+}
+
+/// Number of daily passes a single mid-latitude station sees from a LEO
+/// orbit (a helper for sizing [`GroundNetwork::passes_per_station_per_day`]).
+#[must_use]
+pub fn passes_per_day(orbit: CircularOrbit) -> f64 {
+    // A LEO satellite completes ~14-16 orbits/day; a mid-latitude station
+    // is visible on roughly a quarter to a third of them.
+    let orbits_per_day = 86_400.0 / orbit.period().value();
+    orbits_per_day * 0.28
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn network() -> GroundNetwork {
+        GroundNetwork::commercial(3)
+    }
+
+    #[test]
+    fn latency_is_hours_for_a_sparse_network() {
+        // Paper: "current EO image processing latencies are measured in
+        // hours".
+        let production = GigabitsPerSecond::new(0.02);
+        let image = Gigabits::new(0.8); // one 8k x 8k 12-bit frame
+        let latency = network().mean_latency(production, image).unwrap();
+        let hours = latency.value() / 3600.0;
+        assert!(hours > 1.0 && hours < 12.0, "bent-pipe latency {hours} h");
+    }
+
+    #[test]
+    fn downlink_deficit_is_detected() {
+        // Producing faster than the network drains -> unbounded backlog.
+        let production = GigabitsPerSecond::new(0.2);
+        let image = Gigabits::new(0.8);
+        assert!(network().mean_latency(production, image).is_none());
+        let capacity_rate = network().daily_capacity().value() / 86_400.0;
+        assert!(production.value() > capacity_rate);
+    }
+
+    #[test]
+    fn more_stations_cut_latency() {
+        let production = GigabitsPerSecond::new(0.02);
+        let image = Gigabits::new(0.8);
+        let sparse = GroundNetwork::commercial(2)
+            .mean_latency(production, image)
+            .unwrap();
+        let dense = GroundNetwork::commercial(12)
+            .mean_latency(production, image)
+            .unwrap();
+        assert!(dense < sparse);
+    }
+
+    #[test]
+    fn daily_capacity_accounting() {
+        let n = network();
+        let expected = 0.5 * 480.0 * 12.0; // rate x pass seconds x contacts
+        assert!((n.daily_capacity().value() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn leo_sees_a_few_passes_per_station() {
+        let p = passes_per_day(CircularOrbit::reference_leo());
+        assert!(p > 3.0 && p < 6.0, "passes/day {p}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one station")]
+    fn empty_network_panics() {
+        let _ = GroundNetwork::commercial(0);
+    }
+}

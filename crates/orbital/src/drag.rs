@@ -1,0 +1,237 @@
+//! Atmospheric drag and station-keeping Δv budgets.
+//!
+//! LEO orbits decay under residual atmospheric drag; a SµDC must carry fuel
+//! for periodic reboost burns over its lifetime. The paper notes that
+//! "fuel mass needed for station-keeping increases linearly with lifetime" —
+//! this module provides that linear Δv-per-year budget from first principles.
+
+use serde::{Deserialize, Serialize};
+use sudc_units::{Kilograms, Meters, MetersPerSecond, SquareMeters, Years};
+
+use crate::orbit::CircularOrbit;
+
+/// Piecewise-exponential model atmosphere (CIRA-like mean solar activity).
+///
+/// Each row is `(base altitude m, density kg/m^3 at base, scale height m)`.
+/// Values follow the standard tabulation used in Vallado's *Fundamentals of
+/// Astrodynamics* for 150–1000 km.
+const ATMOSPHERE_TABLE: &[(f64, f64, f64)] = &[
+    (150e3, 2.070e-9, 22.523e3),
+    (180e3, 5.464e-10, 29.740e3),
+    (200e3, 2.789e-10, 37.105e3),
+    (250e3, 7.248e-11, 45.546e3),
+    (300e3, 2.418e-11, 53.628e3),
+    (350e3, 9.518e-12, 53.298e3),
+    (400e3, 3.725e-12, 58.515e3),
+    (450e3, 1.585e-12, 60.828e3),
+    (500e3, 6.967e-13, 63.822e3),
+    (600e3, 1.454e-13, 71.835e3),
+    (700e3, 3.614e-14, 88.667e3),
+    (800e3, 1.170e-14, 124.64e3),
+    (900e3, 5.245e-15, 181.05e3),
+    (1000e3, 3.019e-15, 268.00e3),
+];
+
+/// Returns atmospheric density at the given altitude, kg/m³.
+///
+/// Uses a piecewise exponential interpolation; below 150 km the 150 km row
+/// is extrapolated (conservative — SµDCs never fly that low), above 1000 km
+/// the density continues the last exponential tail.
+///
+/// # Examples
+///
+/// ```
+/// use sudc_orbital::drag::atmospheric_density;
+/// use sudc_units::Meters;
+///
+/// let rho = atmospheric_density(Meters::new(550e3));
+/// assert!(rho > 1e-14 && rho < 1e-12);
+/// ```
+#[must_use]
+pub fn atmospheric_density(altitude: Meters) -> f64 {
+    let h = altitude.value();
+    let row = ATMOSPHERE_TABLE
+        .iter()
+        .rev()
+        .find(|(base, _, _)| h >= *base)
+        .unwrap_or(&ATMOSPHERE_TABLE[0]);
+    let (h0, rho0, scale) = *row;
+    rho0 * ((h0 - h) / scale).exp()
+}
+
+/// Ballistic description of a spacecraft for drag purposes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DragProfile {
+    /// Drag coefficient (typically 2.2 for satellites).
+    pub drag_coefficient: f64,
+    /// Cross-sectional (ram-facing) area.
+    pub cross_section: SquareMeters,
+    /// Spacecraft mass.
+    pub mass: Kilograms,
+}
+
+impl DragProfile {
+    /// Creates a profile with the conventional satellite drag coefficient
+    /// (Cd = 2.2).
+    #[must_use]
+    pub fn new(cross_section: SquareMeters, mass: Kilograms) -> Self {
+        Self {
+            drag_coefficient: 2.2,
+            cross_section,
+            mass,
+        }
+    }
+
+    /// Ballistic coefficient `m / (Cd * A)`, kg/m².
+    ///
+    /// # Panics
+    ///
+    /// Panics if area or mass are non-positive.
+    #[must_use]
+    pub fn ballistic_coefficient(self) -> f64 {
+        assert!(
+            self.cross_section.value() > 0.0 && self.mass.value() > 0.0,
+            "drag profile must have positive area and mass"
+        );
+        self.mass.value() / (self.drag_coefficient * self.cross_section.value())
+    }
+
+    /// Drag deceleration experienced on the given orbit, m/s².
+    #[must_use]
+    pub fn drag_deceleration(self, orbit: CircularOrbit) -> f64 {
+        let rho = atmospheric_density(orbit.altitude());
+        let v = orbit.velocity().value();
+        0.5 * rho * v * v / self.ballistic_coefficient()
+    }
+
+    /// Δv that must be expended per year of station-keeping to cancel drag.
+    ///
+    /// For a near-circular orbit the reboost Δv rate equals the drag
+    /// deceleration integrated over time, so the budget is linear in
+    /// lifetime — exactly the paper's assumption.
+    ///
+    /// ```
+    /// use sudc_orbital::drag::DragProfile;
+    /// use sudc_orbital::orbit::CircularOrbit;
+    /// use sudc_units::{Kilograms, SquareMeters, Years};
+    ///
+    /// let profile = DragProfile::new(SquareMeters::new(20.0), Kilograms::new(800.0));
+    /// let dv = profile.station_keeping_dv(CircularOrbit::reference_leo(), Years::new(5.0));
+    /// assert!(dv.value() > 0.0);
+    /// ```
+    #[must_use]
+    pub fn station_keeping_dv(self, orbit: CircularOrbit, lifetime: Years) -> MetersPerSecond {
+        let accel = self.drag_deceleration(orbit);
+        MetersPerSecond::new(accel * lifetime.to_seconds().value())
+    }
+}
+
+/// Total mission Δv budget: station-keeping plus fixed allowances.
+///
+/// The deorbit allowance reflects the end-of-life disposal burn required of
+/// LEO constellations; the margin covers collision avoidance and momentum
+/// management.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DvBudget {
+    /// Station-keeping component (linear in lifetime).
+    pub station_keeping: MetersPerSecond,
+    /// End-of-life deorbit burn.
+    pub deorbit: MetersPerSecond,
+    /// Collision-avoidance / ADCS desaturation margin.
+    pub margin: MetersPerSecond,
+}
+
+impl DvBudget {
+    /// Builds the mission budget for a profile on an orbit over a lifetime,
+    /// with a standard 100 m/s deorbit allowance and 10 % margin.
+    #[must_use]
+    pub fn for_mission(profile: DragProfile, orbit: CircularOrbit, lifetime: Years) -> Self {
+        let sk = profile.station_keeping_dv(orbit, lifetime);
+        let deorbit = MetersPerSecond::new(100.0);
+        let margin = (sk + deorbit) * 0.10;
+        Self {
+            station_keeping: sk,
+            deorbit,
+            margin,
+        }
+    }
+
+    /// Total Δv the propulsion system must deliver.
+    #[must_use]
+    pub fn total(self) -> MetersPerSecond {
+        self.station_keeping + self.deorbit + self.margin
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sudc_units::Meters;
+
+    #[test]
+    fn density_decreases_with_altitude() {
+        let mut prev = atmospheric_density(Meters::new(200e3));
+        for h in [300e3, 400e3, 550e3, 700e3, 900e3, 1100e3] {
+            let rho = atmospheric_density(Meters::new(h));
+            assert!(rho < prev, "density must fall with altitude at {h} m");
+            assert!(rho > 0.0);
+            prev = rho;
+        }
+    }
+
+    #[test]
+    fn density_matches_reference_values() {
+        // Vallado table anchor points.
+        let rho400 = atmospheric_density(Meters::new(400e3));
+        assert!((rho400 / 3.725e-12 - 1.0).abs() < 1e-6);
+        let rho500 = atmospheric_density(Meters::new(500e3));
+        assert!((rho500 / 6.967e-13 - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn station_keeping_dv_is_linear_in_lifetime() {
+        let profile = DragProfile::new(SquareMeters::new(25.0), Kilograms::new(1000.0));
+        let orbit = CircularOrbit::reference_leo();
+        let dv1 = profile.station_keeping_dv(orbit, Years::new(1.0));
+        let dv5 = profile.station_keeping_dv(orbit, Years::new(5.0));
+        assert!((dv5.value() / dv1.value() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn station_keeping_dv_magnitude_is_sane_for_leo() {
+        // A 1000-kg, 25-m^2 satellite at 550 km needs on the order of
+        // 1-50 m/s per year (solar-cycle dependent); our mean-activity
+        // atmosphere should land in that window.
+        let profile = DragProfile::new(SquareMeters::new(25.0), Kilograms::new(1000.0));
+        let dv = profile
+            .station_keeping_dv(CircularOrbit::reference_leo(), Years::new(1.0))
+            .value();
+        assert!(dv > 0.1 && dv < 100.0, "annual dv {dv} m/s out of range");
+    }
+
+    #[test]
+    fn bigger_area_means_more_drag() {
+        let small = DragProfile::new(SquareMeters::new(10.0), Kilograms::new(1000.0));
+        let big = DragProfile::new(SquareMeters::new(40.0), Kilograms::new(1000.0));
+        let orbit = CircularOrbit::reference_leo();
+        assert!(big.drag_deceleration(orbit) > small.drag_deceleration(orbit));
+    }
+
+    #[test]
+    fn budget_includes_deorbit_and_margin() {
+        let profile = DragProfile::new(SquareMeters::new(25.0), Kilograms::new(1000.0));
+        let budget =
+            DvBudget::for_mission(profile, CircularOrbit::reference_leo(), Years::new(5.0));
+        assert!(budget.total() > budget.station_keeping);
+        assert!(budget.total().value() > 100.0);
+        let expected =
+            budget.station_keeping + budget.deorbit + (budget.station_keeping + budget.deorbit) * 0.1;
+        assert!((budget.total() - expected).abs() < MetersPerSecond::new(1e-9));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive area and mass")]
+    fn zero_mass_profile_panics() {
+        let _ = DragProfile::new(SquareMeters::new(10.0), Kilograms::ZERO).ballistic_coefficient();
+    }
+}

@@ -1,0 +1,147 @@
+//! Constellation ring geometry — inter-satellite distances for ISL sizing.
+//!
+//! A SµDC serving a ring of EO satellites needs its optical crosslinks to
+//! close over the actual in-plane separations; this module provides those
+//! geometric ranges (consumed together with
+//! `sudc_comms::linkbudget::OpticalLink`).
+
+use serde::{Deserialize, Serialize};
+use sudc_units::Meters;
+
+use crate::constants::R_EARTH;
+use crate::orbit::CircularOrbit;
+
+/// A single-plane ring of equally phased satellites.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RingConstellation {
+    /// Shared circular orbit.
+    pub orbit: CircularOrbit,
+    /// Number of satellites in the plane.
+    pub satellites: u32,
+}
+
+impl RingConstellation {
+    /// Creates a ring.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `satellites < 2`.
+    #[must_use]
+    pub fn new(orbit: CircularOrbit, satellites: u32) -> Self {
+        assert!(satellites >= 2, "a ring needs at least two satellites");
+        Self { orbit, satellites }
+    }
+
+    /// Straight-line (chord) distance between satellites `k` slots apart:
+    /// `2 r sin(k π / N)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero or at least the ring size.
+    #[must_use]
+    pub fn chord_distance(&self, k: u32) -> Meters {
+        assert!(
+            k > 0 && k < self.satellites,
+            "separation must be in 1..{} slots, got {k}",
+            self.satellites
+        );
+        let r = self.orbit.radius().value();
+        let angle = std::f64::consts::PI * f64::from(k) / f64::from(self.satellites);
+        Meters::new(2.0 * r * angle.sin())
+    }
+
+    /// Distance to the adjacent satellite.
+    #[must_use]
+    pub fn neighbor_distance(&self) -> Meters {
+        self.chord_distance(1)
+    }
+
+    /// Whether two satellites `k` slots apart have line of sight (the chord
+    /// must clear the Earth's limb plus an atmosphere-grazing margin).
+    #[must_use]
+    pub fn has_line_of_sight(&self, k: u32, grazing_altitude: Meters) -> bool {
+        // Perpendicular distance from Earth's center to the chord:
+        // r cos(k π / N).
+        let r = self.orbit.radius().value();
+        let angle = std::f64::consts::PI * f64::from(k) / f64::from(self.satellites);
+        let closest = r * angle.cos();
+        closest >= R_EARTH + grazing_altitude.value()
+    }
+
+    /// The farthest separation (in slots) that still has line of sight.
+    #[must_use]
+    pub fn max_visible_separation(&self, grazing_altitude: Meters) -> u32 {
+        (1..self.satellites)
+            .take_while(|&k| self.has_line_of_sight(k, grazing_altitude))
+            .last()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn ring(n: u32) -> RingConstellation {
+        RingConstellation::new(CircularOrbit::reference_leo(), n)
+    }
+
+    #[test]
+    fn neighbor_distance_for_a_16_ring_is_thousands_of_km() {
+        // 16 satellites at 550 km: chord = 2 x 6928 km x sin(pi/16) ~ 2703 km.
+        let d = ring(16).neighbor_distance().value() / 1e3;
+        assert!((d - 2703.0).abs() < 20.0, "got {d} km");
+    }
+
+    #[test]
+    fn denser_rings_have_closer_neighbors() {
+        assert!(ring(32).neighbor_distance() < ring(8).neighbor_distance());
+    }
+
+    #[test]
+    fn opposite_satellites_lack_line_of_sight_in_leo() {
+        // Nearly antipodal LEO satellites are blocked by the Earth.
+        let r = ring(16);
+        assert!(!r.has_line_of_sight(8, Meters::new(100e3)));
+        assert!(r.has_line_of_sight(1, Meters::new(100e3)));
+    }
+
+    #[test]
+    fn max_visible_separation_is_consistent() {
+        let r = ring(24);
+        let graze = Meters::new(100e3);
+        let k_max = r.max_visible_separation(graze);
+        assert!(k_max >= 1);
+        assert!(r.has_line_of_sight(k_max, graze));
+        if k_max + 1 < r.satellites {
+            assert!(!r.has_line_of_sight(k_max + 1, graze));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two satellites")]
+    fn singleton_ring_panics() {
+        let _ = RingConstellation::new(CircularOrbit::reference_leo(), 1);
+    }
+
+    proptest! {
+        #[test]
+        fn chord_grows_with_separation_up_to_half_ring(
+            n in 4u32..64,
+            k in 1u32..31,
+        ) {
+            prop_assume!(k + 1 <= n / 2);
+            let r = ring(n);
+            prop_assert!(r.chord_distance(k + 1) > r.chord_distance(k));
+        }
+
+        #[test]
+        fn chord_never_exceeds_diameter(n in 2u32..64, k in 1u32..63) {
+            prop_assume!(k < n);
+            let r = ring(n);
+            let diameter = 2.0 * r.orbit.radius().value();
+            prop_assert!(r.chord_distance(k).value() <= diameter + 1e-6);
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Earth-observation image production models.
+//!
+//! The paper notes a LEO EO satellite produces "around six images per minute
+//! (exact rate depends on orbital velocity, and ground frame size)". This
+//! module derives that rate from the orbit and imager geometry, and converts
+//! it into the pixel and bit rates that size ISLs and compute payloads.
+
+use serde::{Deserialize, Serialize};
+use sudc_units::{GigabitsPerSecond, Meters, MegapixelsPerSecond};
+
+use crate::orbit::CircularOrbit;
+
+/// A push-frame Earth-observation imager.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Imager {
+    /// Along-track length of one ground frame.
+    pub frame_along_track: Meters,
+    /// Pixels per frame along track.
+    pub pixels_along_track: u32,
+    /// Pixels per frame across track.
+    pub pixels_across_track: u32,
+    /// Bits per pixel as produced by the sensor (raw, before compression).
+    pub bits_per_pixel: u32,
+}
+
+impl Imager {
+    /// A representative high-resolution EO imager: ~76 km frame at ~1 m GSD
+    /// class sampling (8k x 8k frame, 12-bit pixels), which at a 550 km orbit
+    /// yields about six frames per minute — the paper's working number.
+    #[must_use]
+    pub fn reference() -> Self {
+        Self {
+            frame_along_track: Meters::new(70e3),
+            pixels_along_track: 8192,
+            pixels_across_track: 8192,
+            bits_per_pixel: 12,
+        }
+    }
+
+    /// Pixels per frame.
+    #[must_use]
+    pub fn pixels_per_frame(self) -> u64 {
+        u64::from(self.pixels_along_track) * u64::from(self.pixels_across_track)
+    }
+
+    /// Frames produced per minute while imaging continuously on `orbit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame length is not positive.
+    ///
+    /// ```
+    /// use sudc_orbital::imaging::Imager;
+    /// use sudc_orbital::orbit::CircularOrbit;
+    ///
+    /// let rate = Imager::reference().frames_per_minute(CircularOrbit::reference_leo());
+    /// assert!(rate > 5.0 && rate < 7.0, "paper quotes ~6 images/min, got {rate}");
+    /// ```
+    #[must_use]
+    pub fn frames_per_minute(self, orbit: CircularOrbit) -> f64 {
+        assert!(
+            self.frame_along_track.value() > 0.0,
+            "frame length must be positive"
+        );
+        orbit.ground_track_speed().value() * 60.0 / self.frame_along_track.value()
+    }
+
+    /// Continuous-imaging pixel rate on `orbit`.
+    #[must_use]
+    pub fn pixel_rate(self, orbit: CircularOrbit) -> MegapixelsPerSecond {
+        let frames_per_second = self.frames_per_minute(orbit) / 60.0;
+        MegapixelsPerSecond::new(frames_per_second * self.pixels_per_frame() as f64 / 1e6)
+    }
+
+    /// Raw (uncompressed) data rate on `orbit`.
+    #[must_use]
+    pub fn data_rate(self, orbit: CircularOrbit) -> GigabitsPerSecond {
+        let bits_per_second =
+            self.pixel_rate(orbit).value() * 1e6 * f64::from(self.bits_per_pixel);
+        GigabitsPerSecond::new(bits_per_second / 1e9)
+    }
+}
+
+impl Default for Imager {
+    fn default() -> Self {
+        Self::reference()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_imager_produces_about_six_frames_per_minute() {
+        let rate = Imager::reference().frames_per_minute(CircularOrbit::reference_leo());
+        assert!(rate > 5.0 && rate < 7.0, "got {rate}");
+    }
+
+    #[test]
+    fn pixel_and_data_rates_are_consistent() {
+        let imager = Imager::reference();
+        let orbit = CircularOrbit::reference_leo();
+        let px = imager.pixel_rate(orbit).value();
+        let bits = imager.data_rate(orbit).value();
+        assert!((bits * 1e9 / (px * 1e6) - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reference_data_rate_is_sub_gbps() {
+        // ~7 Mpixel/s * 12 bit = ~0.08 Gbit/s raw per EO satellite;
+        // a 64-satellite constellation aggregates to a few Gbit/s.
+        let rate = Imager::reference()
+            .data_rate(CircularOrbit::reference_leo())
+            .value();
+        assert!(rate > 0.01 && rate < 1.0, "got {rate} Gbit/s");
+    }
+
+    #[test]
+    fn longer_frames_mean_fewer_frames() {
+        let mut long = Imager::reference();
+        long.frame_along_track = Meters::new(140e3);
+        let orbit = CircularOrbit::reference_leo();
+        assert!(long.frames_per_minute(orbit) < Imager::reference().frames_per_minute(orbit));
+    }
+
+    #[test]
+    fn lower_orbit_images_faster() {
+        let imager = Imager::reference();
+        let low = CircularOrbit::from_altitude(Meters::new(400e3));
+        let high = CircularOrbit::from_altitude(Meters::new(800e3));
+        assert!(imager.frames_per_minute(low) > imager.frames_per_minute(high));
+    }
+}

@@ -1,0 +1,100 @@
+//! Launch-cost models.
+//!
+//! SµDC TCO includes deployment: the paper's RE costs cover launch, priced
+//! per kilogram to orbit. Falcon-9-class rideshare pricing anchors the
+//! default (the paper's motivation cites "recent large reduction in space
+//! launch cost").
+
+use serde::{Deserialize, Serialize};
+use sudc_units::{Kilograms, Usd};
+
+/// A $/kg-to-orbit launch price model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LaunchPricing {
+    /// Price per kilogram delivered to LEO.
+    pub usd_per_kg: Usd,
+    /// Fixed integration / campaign cost per spacecraft.
+    pub integration_fee: Usd,
+}
+
+impl LaunchPricing {
+    /// Falcon-9-class dedicated rideshare pricing (~$5500/kg with a modest
+    /// integration campaign fee).
+    #[must_use]
+    pub fn falcon9_rideshare() -> Self {
+        Self {
+            usd_per_kg: Usd::new(5500.0),
+            integration_fee: Usd::new(250_000.0),
+        }
+    }
+
+    /// Aspirational fully-reusable heavy-lift pricing (~$1500/kg).
+    #[must_use]
+    pub fn next_gen_heavy() -> Self {
+        Self {
+            usd_per_kg: Usd::new(1500.0),
+            integration_fee: Usd::new(150_000.0),
+        }
+    }
+
+    /// Cost to launch a spacecraft of the given wet mass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wet_mass` is negative.
+    ///
+    /// ```
+    /// use sudc_orbital::launch::LaunchPricing;
+    /// use sudc_units::Kilograms;
+    ///
+    /// let cost = LaunchPricing::falcon9_rideshare().cost(Kilograms::new(1000.0));
+    /// assert!(cost.as_millions() > 5.0 && cost.as_millions() < 6.5);
+    /// ```
+    #[must_use]
+    pub fn cost(self, wet_mass: Kilograms) -> Usd {
+        assert!(
+            wet_mass.value() >= 0.0,
+            "wet mass must be non-negative, got {wet_mass}"
+        );
+        self.usd_per_kg * wet_mass.value() + self.integration_fee
+    }
+}
+
+impl Default for LaunchPricing {
+    fn default() -> Self {
+        Self::falcon9_rideshare()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn heavier_spacecraft_cost_more_to_launch() {
+        let p = LaunchPricing::falcon9_rideshare();
+        assert!(p.cost(Kilograms::new(2000.0)) > p.cost(Kilograms::new(500.0)));
+    }
+
+    #[test]
+    fn next_gen_is_cheaper() {
+        let m = Kilograms::new(1500.0);
+        assert!(LaunchPricing::next_gen_heavy().cost(m) < LaunchPricing::falcon9_rideshare().cost(m));
+    }
+
+    #[test]
+    fn zero_mass_still_pays_integration() {
+        let p = LaunchPricing::falcon9_rideshare();
+        assert_eq!(p.cost(Kilograms::ZERO), p.integration_fee);
+    }
+
+    proptest! {
+        #[test]
+        fn cost_is_affine_in_mass(m in 0.0..10_000.0f64) {
+            let p = LaunchPricing::falcon9_rideshare();
+            let expected = p.usd_per_kg.value() * m + p.integration_fee.value();
+            prop_assert!((p.cost(Kilograms::new(m)).value() - expected).abs() < 1e-6);
+        }
+    }
+}

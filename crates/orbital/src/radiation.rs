@@ -1,0 +1,191 @@
+//! Total-ionizing-dose (TID) environment models.
+//!
+//! Anchored to the values the paper cites (§VIII):
+//!
+//! - non-polar LEO behind 200 mil Al: ~0.5 krad(Si)/yr,
+//! - non-polar LEO behind 400 mil Al: ~0.2 krad(Si)/yr,
+//! - GEO behind 200 mil Al: ~4 krad(Si)/yr.
+//!
+//! Shielding attenuation is modeled as exponential in shield thickness,
+//! fitted through the two LEO anchor points.
+
+use serde::{Deserialize, Serialize};
+use sudc_units::{KradSi, KradSiPerYear, Years};
+
+/// Orbit radiation regime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RadiationRegime {
+    /// Non-polar low Earth orbit (the SµDC operating regime).
+    LeoNonPolar,
+    /// Polar / sun-synchronous LEO (higher trapped-proton exposure).
+    LeoPolar,
+    /// Medium Earth orbit (inside the outer Van Allen belt).
+    Meo,
+    /// Geostationary orbit.
+    Geo,
+}
+
+/// Dose rate at the 200-mil reference shielding for each regime, krad(Si)/yr.
+fn reference_rate(regime: RadiationRegime) -> f64 {
+    match regime {
+        RadiationRegime::LeoNonPolar => 0.5,
+        RadiationRegime::LeoPolar => 1.5,
+        RadiationRegime::Meo => 20.0,
+        RadiationRegime::Geo => 4.0,
+    }
+}
+
+/// Shielding attenuation scale, mils of aluminum per e-fold.
+///
+/// Fit through the paper's LEO anchors: `0.2/0.5 = exp(-200/tau)` gives
+/// `tau = 200 / ln(2.5) ≈ 218.3`.
+const SHIELD_SCALE_MILS: f64 = 218.27;
+const REFERENCE_SHIELD_MILS: f64 = 200.0;
+
+/// Annual TID rate behind `shield_mils` of aluminum in the given regime.
+///
+/// # Panics
+///
+/// Panics if `shield_mils` is negative or non-finite.
+///
+/// # Examples
+///
+/// ```
+/// use sudc_orbital::radiation::{dose_rate, RadiationRegime};
+///
+/// let leo_200 = dose_rate(RadiationRegime::LeoNonPolar, 200.0);
+/// assert!((leo_200.value() - 0.5).abs() < 1e-9);
+/// let leo_400 = dose_rate(RadiationRegime::LeoNonPolar, 400.0);
+/// assert!((leo_400.value() - 0.2).abs() < 0.01);
+/// ```
+#[must_use]
+pub fn dose_rate(regime: RadiationRegime, shield_mils: f64) -> KradSiPerYear {
+    assert!(
+        shield_mils.is_finite() && shield_mils >= 0.0,
+        "shield thickness must be finite and non-negative, got {shield_mils}"
+    );
+    let attenuation = ((REFERENCE_SHIELD_MILS - shield_mils) / SHIELD_SCALE_MILS).exp();
+    KradSiPerYear::new(reference_rate(regime) * attenuation)
+}
+
+/// Mission-accumulated dose over a lifetime.
+#[must_use]
+pub fn mission_dose(regime: RadiationRegime, shield_mils: f64, lifetime: Years) -> KradSi {
+    dose_rate(regime, shield_mils) * lifetime
+}
+
+/// Verdict of a COTS-suitability radiation check.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TidAssessment {
+    /// Dose the mission will accumulate.
+    pub mission_dose: KradSi,
+    /// Dose the part tolerates before failure.
+    pub part_tolerance: KradSi,
+    /// Tolerance margin, `part_tolerance / mission_dose`.
+    pub margin: f64,
+}
+
+impl TidAssessment {
+    /// Assesses whether a part with `part_tolerance` survives the mission.
+    #[must_use]
+    pub fn assess(
+        regime: RadiationRegime,
+        shield_mils: f64,
+        lifetime: Years,
+        part_tolerance: KradSi,
+    ) -> Self {
+        let dose = mission_dose(regime, shield_mils, lifetime);
+        Self {
+            mission_dose: dose,
+            part_tolerance,
+            margin: part_tolerance.value() / dose.value(),
+        }
+    }
+
+    /// Whether the part survives with at least the given safety factor.
+    #[must_use]
+    pub fn survives_with_margin(&self, safety_factor: f64) -> bool {
+        self.margin >= safety_factor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn leo_anchor_points_match_paper() {
+        assert!((dose_rate(RadiationRegime::LeoNonPolar, 200.0).value() - 0.5).abs() < 1e-12);
+        assert!((dose_rate(RadiationRegime::LeoNonPolar, 400.0).value() - 0.2).abs() < 1e-3);
+        assert!((dose_rate(RadiationRegime::Geo, 200.0).value() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geo_is_harsher_than_leo() {
+        for mils in [100.0, 200.0, 400.0] {
+            assert!(
+                dose_rate(RadiationRegime::Geo, mils) > dose_rate(RadiationRegime::LeoNonPolar, mils)
+            );
+        }
+    }
+
+    #[test]
+    fn five_year_leo_mission_dose_is_small() {
+        // Paper: a 5-year LEO mission behind 200 mil sees ~2.5 krad, an order
+        // of magnitude below what 14 nm COTS parts tolerate.
+        let dose = mission_dose(RadiationRegime::LeoNonPolar, 200.0, Years::new(5.0));
+        assert!((dose.value() - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cots_part_survives_leo_with_margin() {
+        // A 14-nm class part tolerating ~50 krad vs 2.5 krad mission dose.
+        let a = TidAssessment::assess(
+            RadiationRegime::LeoNonPolar,
+            200.0,
+            Years::new(5.0),
+            KradSi::new(50.0),
+        );
+        assert!(a.survives_with_margin(10.0));
+        assert!(!a.survives_with_margin(30.0));
+    }
+
+    #[test]
+    fn rad750_survives_geo() {
+        let a = TidAssessment::assess(
+            RadiationRegime::Geo,
+            200.0,
+            Years::new(15.0),
+            KradSi::new(200.0),
+        );
+        assert!(a.survives_with_margin(3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "shield thickness")]
+    fn negative_shield_panics() {
+        let _ = dose_rate(RadiationRegime::LeoNonPolar, -1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn more_shielding_never_increases_dose(
+            m1 in 0.0..1000.0f64,
+            m2 in 0.0..1000.0f64,
+        ) {
+            let (lo, hi) = if m1 <= m2 { (m1, m2) } else { (m2, m1) };
+            prop_assert!(
+                dose_rate(RadiationRegime::LeoNonPolar, hi)
+                    <= dose_rate(RadiationRegime::LeoNonPolar, lo)
+            );
+        }
+
+        #[test]
+        fn dose_linear_in_lifetime(years in 0.1..20.0f64, mils in 50.0..800.0f64) {
+            let d1 = mission_dose(RadiationRegime::LeoNonPolar, mils, Years::new(years));
+            let d2 = mission_dose(RadiationRegime::LeoNonPolar, mils, Years::new(2.0 * years));
+            prop_assert!((d2.value() / d1.value() - 2.0).abs() < 1e-9);
+        }
+    }
+}

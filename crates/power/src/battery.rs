@@ -1,0 +1,97 @@
+//! Eclipse-ride-through battery sizing.
+
+use serde::{Deserialize, Serialize};
+use sudc_orbital::CircularOrbit;
+use sudc_units::{Joules, Kilograms, Watts};
+
+/// Li-ion cell-pack specific energy, Wh/kg.
+const SPECIFIC_ENERGY_WH_PER_KG: f64 = 150.0;
+
+/// Maximum depth of discharge for LEO cycle life (tens of thousands of
+/// eclipse cycles over five years force a shallow DoD).
+pub const DEFAULT_DEPTH_OF_DISCHARGE: f64 = 0.30;
+
+/// Discharge-path efficiency.
+const DISCHARGE_EFFICIENCY: f64 = 0.95;
+
+/// A sized battery pack.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Battery {
+    /// Installed (nameplate) capacity.
+    pub capacity: Joules,
+    /// Energy drawn per eclipse.
+    pub eclipse_energy: Joules,
+    /// Pack mass.
+    pub mass: Kilograms,
+}
+
+impl Battery {
+    /// Sizes a pack that carries `load` through the longest eclipse of
+    /// `orbit` at the default depth of discharge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `load` is negative or non-finite.
+    ///
+    /// ```
+    /// use sudc_power::battery::Battery;
+    /// use sudc_orbital::CircularOrbit;
+    /// use sudc_units::Watts;
+    ///
+    /// let b = Battery::size(Watts::from_kilowatts(4.0), CircularOrbit::reference_leo());
+    /// assert!(b.mass.value() > 30.0 && b.mass.value() < 120.0);
+    /// ```
+    #[must_use]
+    pub fn size(load: Watts, orbit: CircularOrbit) -> Self {
+        assert!(
+            load.is_finite() && load.value() >= 0.0,
+            "battery load must be finite and non-negative, got {load}"
+        );
+        let eclipse_seconds = orbit.period() * orbit.eclipse_fraction();
+        let eclipse_energy = load * eclipse_seconds;
+        let capacity = eclipse_energy / (DEFAULT_DEPTH_OF_DISCHARGE * DISCHARGE_EFFICIENCY);
+        let mass = Kilograms::new(capacity.value() / (SPECIFIC_ENERGY_WH_PER_KG * 3600.0));
+        Self {
+            capacity,
+            eclipse_energy,
+            mass,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn capacity_respects_depth_of_discharge() {
+        let b = Battery::size(Watts::from_kilowatts(4.0), CircularOrbit::reference_leo());
+        let dod_used = b.eclipse_energy / b.capacity;
+        assert!(dod_used < DEFAULT_DEPTH_OF_DISCHARGE + 1e-9);
+    }
+
+    #[test]
+    fn four_kw_pack_holds_kilowatt_hours() {
+        let b = Battery::size(Watts::from_kilowatts(4.0), CircularOrbit::reference_leo());
+        let kwh = b.capacity.value() / 3.6e6;
+        // ~2.3 kWh eclipse draw at 30% DoD -> ~8 kWh nameplate.
+        assert!(kwh > 5.0 && kwh < 12.0, "capacity {kwh} kWh");
+    }
+
+    #[test]
+    fn zero_load_needs_no_battery() {
+        let b = Battery::size(Watts::ZERO, CircularOrbit::reference_leo());
+        assert_eq!(b.mass, Kilograms::ZERO);
+    }
+
+    proptest! {
+        #[test]
+        fn mass_linear_in_load(load in 1.0..20_000.0f64) {
+            let orbit = CircularOrbit::reference_leo();
+            let b1 = Battery::size(Watts::new(load), orbit);
+            let b2 = Battery::size(Watts::new(2.0 * load), orbit);
+            prop_assert!((b2.mass.value() / b1.mass.value() - 2.0).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Complete power-subsystem design: array + battery + distribution.
+
+use serde::{Deserialize, Serialize};
+use sudc_orbital::CircularOrbit;
+use sudc_units::{Kilograms, SquareMeters, Watts, Years};
+
+use crate::battery::Battery;
+use crate::solar::{SolarArray, SolarCellTech};
+
+/// Power-distribution (PDU, harness, regulators) mass per watt of EOL load,
+/// kg/W.
+const DISTRIBUTION_SPECIFIC_MASS: f64 = 0.01;
+
+/// A sized electrical power subsystem.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerDesign {
+    /// End-of-life continuous load the subsystem delivers.
+    pub eol_load: Watts,
+    /// Solar array.
+    pub array: SolarArray,
+    /// Eclipse battery.
+    pub battery: Battery,
+    /// PDU / harness mass.
+    pub distribution_mass: Kilograms,
+}
+
+impl PowerDesign {
+    /// Sizes a power subsystem delivering `eol_load` continuously on `orbit`
+    /// for `lifetime` with the given cell technology.
+    #[must_use]
+    pub fn size(
+        eol_load: Watts,
+        orbit: CircularOrbit,
+        lifetime: Years,
+        tech: SolarCellTech,
+    ) -> Self {
+        let array = SolarArray::size(eol_load, orbit, lifetime, tech);
+        let battery = Battery::size(eol_load, orbit);
+        let distribution_mass = Kilograms::new(DISTRIBUTION_SPECIFIC_MASS * eol_load.value());
+        Self {
+            eol_load,
+            array,
+            battery,
+            distribution_mass,
+        }
+    }
+
+    /// Sizes with triple-junction GaAs cells (the spacecraft default).
+    #[must_use]
+    pub fn size_default(eol_load: Watts, orbit: CircularOrbit, lifetime: Years) -> Self {
+        Self::size(eol_load, orbit, lifetime, SolarCellTech::TripleJunctionGaAs)
+    }
+
+    /// Beginning-of-life array power (what generation capacity must be
+    /// bought and launched).
+    #[must_use]
+    pub fn bol_array_power(&self) -> Watts {
+        self.array.bol_power
+    }
+
+    /// Solar panel area (drives drag cross-section and structure).
+    #[must_use]
+    pub fn array_area(&self) -> SquareMeters {
+        self.array.area
+    }
+
+    /// Total subsystem mass.
+    #[must_use]
+    pub fn mass(&self) -> Kilograms {
+        self.array.mass + self.battery.mass + self.distribution_mass
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn leo() -> CircularOrbit {
+        CircularOrbit::reference_leo()
+    }
+
+    #[test]
+    fn four_kw_subsystem_mass_is_plausible() {
+        let d = PowerDesign::size_default(Watts::from_kilowatts(4.0), leo(), Years::new(5.0));
+        let m = d.mass().value();
+        // Array ~75 kg + battery ~60 kg + distribution ~40 kg.
+        assert!(m > 120.0 && m < 260.0, "mass {m} kg");
+    }
+
+    #[test]
+    fn mass_components_are_all_included() {
+        let d = PowerDesign::size_default(Watts::from_kilowatts(1.0), leo(), Years::new(5.0));
+        let sum = d.array.mass + d.battery.mass + d.distribution_mass;
+        assert_eq!(d.mass(), sum);
+    }
+
+    #[test]
+    fn bol_power_exceeds_load() {
+        let d = PowerDesign::size_default(Watts::from_kilowatts(4.0), leo(), Years::new(5.0));
+        assert!(d.bol_array_power() > d.eol_load);
+    }
+
+    proptest! {
+        #[test]
+        fn subsystem_monotone_in_load(
+            l1 in 10.0..20_000.0f64,
+            l2 in 10.0..20_000.0f64,
+        ) {
+            let (lo, hi) = if l1 <= l2 { (l1, l2) } else { (l2, l1) };
+            let d_lo = PowerDesign::size_default(Watts::new(lo), leo(), Years::new(5.0));
+            let d_hi = PowerDesign::size_default(Watts::new(hi), leo(), Years::new(5.0));
+            prop_assert!(d_lo.mass() <= d_hi.mass());
+            prop_assert!(d_lo.bol_array_power() <= d_hi.bol_array_power());
+            prop_assert!(d_lo.array_area() <= d_hi.array_area());
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Radioisotope power as an alternative to solar arrays.
+//!
+//! The paper notes that SµDCs, "being LEO-based, are solar powered; distant
+//! missions may use nuclear batteries". This module models an RTG
+//! (radioisotope thermoelectric generator) option so the trade is explicit:
+//! RTGs are eclipse-free and degrade slowly, but their specific power and
+//! cost are catastrophically worse at SµDC power levels — which is why the
+//! toolkit defaults to solar.
+
+use serde::{Deserialize, Serialize};
+use sudc_units::{Kilograms, Usd, Watts, Years};
+
+/// An RTG generator family.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Rtg {
+    /// Electrical specific power at BOL, W/kg (flight RTGs: ~2–5 W/kg).
+    pub specific_power: f64,
+    /// Cost per electrical watt at BOL (Pu-238 systems run ~$0.5–1M/W
+    /// including fuel production; we use the optimistic end).
+    pub usd_per_watt: Usd,
+    /// Annual output decay (isotope half-life + thermocouple degradation).
+    pub annual_decay: f64,
+}
+
+impl Rtg {
+    /// A GPHS-RTG-class generator (Pu-238, SiGe thermocouples).
+    #[must_use]
+    pub fn gphs_class() -> Self {
+        Self {
+            specific_power: 5.0,
+            usd_per_watt: Usd::new(500_000.0),
+            annual_decay: 0.016,
+        }
+    }
+
+    /// Generator mass to deliver `eol_load` at end of `lifetime`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the load is negative or lifetime negative.
+    #[must_use]
+    pub fn mass(&self, eol_load: Watts, lifetime: Years) -> Kilograms {
+        let bol = self.bol_power(eol_load, lifetime);
+        Kilograms::new(bol.value() / self.specific_power)
+    }
+
+    /// BOL electrical power that must be fueled for an EOL requirement.
+    #[must_use]
+    pub fn bol_power(&self, eol_load: Watts, lifetime: Years) -> Watts {
+        assert!(
+            eol_load.is_finite() && eol_load.value() >= 0.0,
+            "load must be finite and non-negative, got {eol_load}"
+        );
+        assert!(lifetime.value() >= 0.0, "lifetime must be non-negative");
+        eol_load / (1.0 - self.annual_decay).powf(lifetime.value())
+    }
+
+    /// Generator procurement cost.
+    #[must_use]
+    pub fn cost(&self, eol_load: Watts, lifetime: Years) -> Usd {
+        self.usd_per_watt * self.bol_power(eol_load, lifetime).value()
+    }
+}
+
+impl Default for Rtg {
+    fn default() -> Self {
+        Self::gphs_class()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::PowerDesign;
+    use sudc_orbital::CircularOrbit;
+
+    #[test]
+    fn rtg_needs_no_eclipse_oversizing() {
+        // An RTG's BOL only covers decay, not eclipse: the ratio is much
+        // smaller than solar's (~1.9x at 5 years).
+        let rtg = Rtg::gphs_class();
+        let ratio = rtg
+            .bol_power(Watts::new(1000.0), Years::new(5.0))
+            .value()
+            / 1000.0;
+        assert!(ratio < 1.15, "RTG BOL/EOL ratio {ratio}");
+    }
+
+    #[test]
+    fn rtg_mass_is_uncompetitive_at_sudc_scale() {
+        // 4 kW-class EOL load: solar power subsystem ~200 kg vs RTG ~900 kg.
+        let load = Watts::from_kilowatts(4.0);
+        let rtg_mass = Rtg::gphs_class().mass(load, Years::new(5.0));
+        let solar = PowerDesign::size_default(load, CircularOrbit::reference_leo(), Years::new(5.0));
+        assert!(
+            rtg_mass > solar.mass() * 3.0,
+            "RTG {rtg_mass} vs solar {}",
+            solar.mass()
+        );
+    }
+
+    #[test]
+    fn rtg_cost_is_prohibitive() {
+        // ~$2B for 4 kW: three orders beyond the whole solar SµDC.
+        let cost = Rtg::gphs_class().cost(Watts::from_kilowatts(4.0), Years::new(5.0));
+        assert!(cost.as_millions() > 1000.0);
+    }
+
+    #[test]
+    fn decay_is_mild_compared_to_solar() {
+        let rtg = Rtg::gphs_class();
+        assert!(rtg.annual_decay < 0.025);
+    }
+}

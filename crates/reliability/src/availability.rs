@@ -1,0 +1,268 @@
+//! Overprovisioned-node availability (paper §VII, Figs. 24 and 25).
+//!
+//! Node lifetimes are i.i.d. `Exp(λ)` with mean time to failure
+//! `T = 1/λ`. With `n` installed nodes of which `k` are needed (the paper
+//! uses `k = 10`, the power-limited active count), the system is fully
+//! available at time `t` iff at least `k` nodes survive — a binomial tail
+//! in the per-node survival probability `p(t) = e^(−t/T)`.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A pool of `nodes` identical servers of which `required` must work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct NodePool {
+    /// Installed node count `n` (spares included).
+    pub nodes: u32,
+    /// Nodes needed for full capability `k` (power-limited).
+    pub required: u32,
+}
+
+impl NodePool {
+    /// Creates a pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `required` is zero or exceeds `nodes`.
+    #[must_use]
+    pub fn new(nodes: u32, required: u32) -> Self {
+        assert!(required > 0, "at least one node must be required");
+        assert!(
+            required <= nodes,
+            "cannot require {required} of only {nodes} nodes"
+        );
+        Self { nodes, required }
+    }
+
+    /// Per-node survival probability at time `t` (in units of the MTTF `T`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is negative or non-finite.
+    #[must_use]
+    pub fn node_survival(t_over_mttf: f64) -> f64 {
+        assert!(
+            t_over_mttf.is_finite() && t_over_mttf >= 0.0,
+            "time must be finite and non-negative, got {t_over_mttf}"
+        );
+        (-t_over_mttf).exp()
+    }
+
+    /// Probability that at least `required` nodes are alive at time `t`
+    /// (the paper's `P[Z_n(t) = 1]`, Fig. 24).
+    #[must_use]
+    pub fn availability(self, t_over_mttf: f64) -> f64 {
+        let p = Self::node_survival(t_over_mttf);
+        binomial_tail_at_least(self.nodes, self.required, p)
+    }
+
+    /// Expected usable capacity `E[min(required, alive)]` (Fig. 25).
+    #[must_use]
+    pub fn expected_capacity(self, t_over_mttf: f64) -> f64 {
+        let p = Self::node_survival(t_over_mttf);
+        let n = self.nodes;
+        (0..=n)
+            .map(|j| f64::from(j.min(self.required)) * binomial_pmf(n, j, p))
+            .sum()
+    }
+
+    /// Time (in MTTF units) at which availability first drops to
+    /// `threshold`, found by bisection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is not in (0, 1).
+    #[must_use]
+    pub fn time_to_availability(self, threshold: f64) -> f64 {
+        assert!(
+            threshold > 0.0 && threshold < 1.0,
+            "threshold must be in (0, 1), got {threshold}"
+        );
+        let (mut lo, mut hi) = (0.0, 50.0);
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if self.availability(mid) > threshold {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        0.5 * (lo + hi)
+    }
+
+    /// Median time to system degradation (availability = 0.5).
+    #[must_use]
+    pub fn median_degradation_time(self) -> f64 {
+        self.time_to_availability(0.5)
+    }
+
+    /// Monte-Carlo estimate of availability at `t` (cross-validates the
+    /// analytic binomial form).
+    #[must_use]
+    pub fn simulate_availability<R: Rng>(self, t_over_mttf: f64, trials: u32, rng: &mut R) -> f64 {
+        let p = Self::node_survival(t_over_mttf);
+        let mut hits = 0u32;
+        for _ in 0..trials {
+            let alive = (0..self.nodes).filter(|_| rng.gen::<f64>() < p).count() as u32;
+            if alive >= self.required {
+                hits += 1;
+            }
+        }
+        f64::from(hits) / f64::from(trials)
+    }
+}
+
+/// Binomial PMF `P[X = j]`, computed in log space for stability.
+#[must_use]
+pub fn binomial_pmf(n: u32, j: u32, p: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability, got {p}");
+    if j > n {
+        return 0.0;
+    }
+    if p == 0.0 {
+        return if j == 0 { 1.0 } else { 0.0 };
+    }
+    if p == 1.0 {
+        return if j == n { 1.0 } else { 0.0 };
+    }
+    let ln = ln_choose(n, j) + f64::from(j) * p.ln() + f64::from(n - j) * (1.0 - p).ln();
+    ln.exp()
+}
+
+/// Binomial upper tail `P[X >= k]`.
+#[must_use]
+pub fn binomial_tail_at_least(n: u32, k: u32, p: f64) -> f64 {
+    (k..=n).map(|j| binomial_pmf(n, j, p)).sum::<f64>().min(1.0)
+}
+
+fn ln_choose(n: u32, j: u32) -> f64 {
+    ln_factorial(n) - ln_factorial(j) - ln_factorial(n - j)
+}
+
+fn ln_factorial(n: u32) -> f64 {
+    (2..=u64::from(n)).map(|i| (i as f64).ln()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn paper_99_percent_degradation_times() {
+        // Paper: "the time at which probability of system degradation
+        // exceeds 99% ... 0.46, 1.43, and 1.89 for n = 10, 20, and 30".
+        let t10 = NodePool::new(10, 10).time_to_availability(0.01);
+        let t20 = NodePool::new(20, 10).time_to_availability(0.01);
+        let t30 = NodePool::new(30, 10).time_to_availability(0.01);
+        assert!((t10 - 0.46).abs() < 0.02, "n=10: {t10}");
+        assert!((t20 - 1.43).abs() < 0.05, "n=20: {t20}");
+        assert!((t30 - 1.89).abs() < 0.06, "n=30: {t30}");
+    }
+
+    #[test]
+    fn median_degradation_grows_superlinearly_with_overprovisioning() {
+        // Doubling the pool (10 -> 20) must far more than double the median
+        // time to degradation; tripling extends it further.
+        let m10 = NodePool::new(10, 10).median_degradation_time();
+        let m20 = NodePool::new(20, 10).median_degradation_time();
+        let m30 = NodePool::new(30, 10).median_degradation_time();
+        assert!(m20 > 5.0 * m10, "m10={m10}, m20={m20}");
+        assert!(m30 > m20);
+        // Analytic anchors: ~0.069 T for n=10 (first of 10 failures),
+        // ~0.74 T for n=20, ~1.15 T for n=30.
+        assert!((m10 - 0.069).abs() < 0.005, "m10={m10}");
+        assert!((m20 - 0.74).abs() < 0.03, "m20={m20}");
+        assert!((m30 - 1.15).abs() < 0.04, "m30={m30}");
+    }
+
+    #[test]
+    fn availability_at_time_zero_is_one() {
+        for n in [10, 20, 30] {
+            assert!((NodePool::new(n, 10).availability(0.0) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn expected_capacity_starts_full_and_decays() {
+        let pool = NodePool::new(20, 10);
+        assert!((pool.expected_capacity(0.0) - 10.0).abs() < 1e-9);
+        let early = pool.expected_capacity(0.5);
+        let late = pool.expected_capacity(2.0);
+        assert!(early > late);
+        assert!(late > 0.0);
+    }
+
+    #[test]
+    fn overprovisioning_raises_expected_capacity_at_all_times() {
+        // Fig. 25: "at all times, overprovisioning provides significant
+        // improvement in the expected computational power".
+        let base = NodePool::new(10, 10);
+        let over = NodePool::new(30, 10);
+        for t in [0.1, 0.5, 1.0, 1.5, 2.0] {
+            assert!(over.expected_capacity(t) > base.expected_capacity(t), "t={t}");
+        }
+    }
+
+    #[test]
+    fn monte_carlo_agrees_with_analytic() {
+        let pool = NodePool::new(20, 10);
+        let mut rng = StdRng::seed_from_u64(42);
+        for t in [0.3, 0.8, 1.3] {
+            let analytic = pool.availability(t);
+            let mc = pool.simulate_availability(t, 20_000, &mut rng);
+            assert!(
+                (analytic - mc).abs() < 0.02,
+                "t={t}: analytic {analytic} vs MC {mc}"
+            );
+        }
+    }
+
+    #[test]
+    fn binomial_pmf_sums_to_one() {
+        let total: f64 = (0..=25).map(|j| binomial_pmf(25, j, 0.37)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn binomial_edge_cases() {
+        assert_eq!(binomial_pmf(10, 0, 0.0), 1.0);
+        assert_eq!(binomial_pmf(10, 10, 1.0), 1.0);
+        assert_eq!(binomial_pmf(10, 11, 0.5), 0.0);
+        assert!((binomial_tail_at_least(10, 0, 0.3) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot require")]
+    fn impossible_pool_panics() {
+        let _ = NodePool::new(5, 10);
+    }
+
+    proptest! {
+        #[test]
+        fn availability_nonincreasing_in_time(
+            t1 in 0.0..5.0f64,
+            t2 in 0.0..5.0f64,
+            n in 10u32..40,
+        ) {
+            let pool = NodePool::new(n, 10);
+            let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+            prop_assert!(pool.availability(hi) <= pool.availability(lo) + 1e-12);
+        }
+
+        #[test]
+        fn more_spares_never_hurt(t in 0.0..3.0f64, n in 10u32..40) {
+            let a = NodePool::new(n, 10).availability(t);
+            let b = NodePool::new(n + 1, 10).availability(t);
+            prop_assert!(b >= a - 1e-12);
+        }
+
+        #[test]
+        fn capacity_bounded_by_required(t in 0.0..5.0f64, n in 10u32..40) {
+            let c = NodePool::new(n, 10).expected_capacity(t);
+            prop_assert!((0.0..=10.0 + 1e-12).contains(&c));
+        }
+    }
+}

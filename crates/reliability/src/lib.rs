@@ -1,0 +1,28 @@
+//! Availability, redundancy, and radiation-tolerance models (paper §VII–VIII).
+//!
+//! - [`availability`] — near-zero-cost overprovisioning: exponential node
+//!   lifetimes, the probability that at least `k` of `n` nodes survive
+//!   (Fig. 24), and the expected usable capacity (Fig. 25), both analytic
+//!   and Monte-Carlo;
+//! - [`mission`] — Monte-Carlo mission simulation with cold vs. hot
+//!   sparing (powered-off spares age slower);
+//! - [`redundancy`] — TMR / DMR / software-redundancy power overheads that
+//!   feed the TCO comparison of Fig. 28;
+//! - [`softerror`] — a pessimistic soft-error → ImageNet-accuracy model
+//!   (Fig. 27);
+//! - [`tid`] — total-ionizing-dose tolerance vs. technology node (Fig. 26);
+//! - [`weibull`] — Weibull lifetimes (infant mortality / wear-out) as a
+//!   stress test of the exponential assumption.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod availability;
+pub mod mission;
+pub mod redundancy;
+pub mod softerror;
+pub mod tid;
+pub mod weibull;
+
+pub use availability::NodePool;
+pub use redundancy::RedundancyScheme;

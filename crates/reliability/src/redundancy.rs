@@ -1,0 +1,108 @@
+//! Redundancy schemes and their power overheads (paper §VIII, Fig. 28).
+//!
+//! "For TMR and DMR, we assume an overhead of 3× and 2× respectively. ...
+//! For software, we assume an overhead of 20%." Hardware redundancy is
+//! expensive in a SµDC precisely because its power overhead cascades into
+//! power-generation and thermal subsystem cost; software redundancy is
+//! nearly free.
+
+use serde::{Deserialize, Serialize};
+use sudc_units::Watts;
+
+/// A reliability scheme for the compute payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum RedundancyScheme {
+    /// No redundancy: raw COTS hardware.
+    #[default]
+    None,
+    /// Triple modular redundancy (3× power).
+    Tmr,
+    /// Dual modular redundancy (2× power).
+    Dmr,
+    /// Software-based hardening (ANN resilience + selective duplication,
+    /// conservative 20% overhead).
+    Software,
+}
+
+impl RedundancyScheme {
+    /// Power multiplier over the unprotected payload.
+    #[must_use]
+    pub fn power_overhead(self) -> f64 {
+        match self {
+            Self::None => 1.0,
+            Self::Tmr => 3.0,
+            Self::Dmr => 2.0,
+            Self::Software => 1.2,
+        }
+    }
+
+    /// Physical compute power needed to deliver `equivalent` protected
+    /// computing power (Fig. 28's x-axis is `equivalent`).
+    ///
+    /// ```
+    /// use sudc_reliability::RedundancyScheme;
+    /// use sudc_units::Watts;
+    ///
+    /// // "A DMR scheme at 2 kW equivalent computing power ... is assumed
+    /// //  to consume ~4 kW."
+    /// let p = RedundancyScheme::Dmr.physical_power(Watts::from_kilowatts(2.0));
+    /// assert_eq!(p, Watts::from_kilowatts(4.0));
+    /// ```
+    #[must_use]
+    pub fn physical_power(self, equivalent: Watts) -> Watts {
+        equivalent * self.power_overhead()
+    }
+
+    /// All schemes in Fig. 28's comparison order.
+    #[must_use]
+    pub fn all() -> [Self; 4] {
+        [Self::None, Self::Software, Self::Dmr, Self::Tmr]
+    }
+}
+
+impl core::fmt::Display for RedundancyScheme {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let s = match self {
+            Self::None => "none",
+            Self::Tmr => "TMR",
+            Self::Dmr => "DMR",
+            Self::Software => "software",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overheads_match_paper_assumptions() {
+        assert_eq!(RedundancyScheme::Tmr.power_overhead(), 3.0);
+        assert_eq!(RedundancyScheme::Dmr.power_overhead(), 2.0);
+        assert_eq!(RedundancyScheme::Software.power_overhead(), 1.2);
+        assert_eq!(RedundancyScheme::None.power_overhead(), 1.0);
+    }
+
+    #[test]
+    fn physical_power_scales_equivalent() {
+        let eq = Watts::from_kilowatts(2.0);
+        assert_eq!(
+            RedundancyScheme::Tmr.physical_power(eq),
+            Watts::from_kilowatts(6.0)
+        );
+        assert_eq!(
+            RedundancyScheme::Software.physical_power(eq),
+            Watts::from_kilowatts(2.4)
+        );
+    }
+
+    #[test]
+    fn schemes_are_ordered_by_cost() {
+        let eq = Watts::from_kilowatts(1.0);
+        let all = RedundancyScheme::all();
+        for pair in all.windows(2) {
+            assert!(pair[0].physical_power(eq) <= pair[1].physical_power(eq));
+        }
+    }
+}

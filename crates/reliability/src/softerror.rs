@@ -1,0 +1,143 @@
+//! Soft-error impact on ImageNet classification (paper §VIII, Fig. 27).
+//!
+//! The paper's pessimistic model: *every* soft error that lands in a
+//! network's state produces an incorrect inference, and soft errors never
+//! accidentally correct one. Under those assumptions the accuracy at a
+//! per-bit fault probability `ε` is
+//! `accuracy(ε) = base_accuracy × (1 − ε)^bits` — a survival function in
+//! the network's parameter-bit count. Because real ANNs mask the vast
+//! majority of single-bit upsets, this is a hard lower bound, which is why
+//! a 20 % software-hardening overhead is conservative.
+
+use serde::Serialize;
+use sudc_compute::networks::NetworkId;
+
+/// Bits per parameter (FP16 deployment).
+const BITS_PER_PARAM: f64 = 16.0;
+
+/// An ImageNet classifier evaluated under soft errors.
+#[derive(Debug, Clone, Serialize)]
+pub struct ImageNetModel {
+    /// The underlying network.
+    pub network: NetworkId,
+    /// Published fault-free ImageNet top-1 accuracy.
+    pub base_accuracy: f64,
+    /// Parameter count.
+    pub parameters: u64,
+}
+
+/// The classification networks Fig. 27 evaluates.
+#[must_use]
+pub fn imagenet_suite() -> Vec<ImageNetModel> {
+    let classifiers = [
+        (NetworkId::ResNet50, 0.761),
+        (NetworkId::Vgg16, 0.715),
+        (NetworkId::DenseNet121, 0.744),
+        (NetworkId::InceptionV3, 0.779),
+    ];
+    classifiers
+        .into_iter()
+        .map(|(network, base_accuracy)| ImageNetModel {
+            network,
+            base_accuracy,
+            parameters: network.network().total_weights(),
+        })
+        .collect()
+}
+
+impl ImageNetModel {
+    /// Probability that an inference sees at least one corrupted bit at
+    /// per-bit-per-inference fault probability `epsilon`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon` is not a probability.
+    #[must_use]
+    pub fn corruption_probability(&self, epsilon: f64) -> f64 {
+        assert!(
+            (0.0..=1.0).contains(&epsilon),
+            "epsilon must be a probability, got {epsilon}"
+        );
+        let bits = self.parameters as f64 * BITS_PER_PARAM;
+        1.0 - (1.0 - epsilon).powf(bits)
+    }
+
+    /// Pessimistic accuracy under faults: every corrupted inference is
+    /// wrong.
+    #[must_use]
+    pub fn accuracy_under_faults(&self, epsilon: f64) -> f64 {
+        self.base_accuracy * (1.0 - self.corruption_probability(epsilon))
+    }
+
+    /// The fault rate at which accuracy halves.
+    #[must_use]
+    pub fn half_accuracy_fault_rate(&self) -> f64 {
+        // (1 - eps)^bits = 0.5  =>  eps = 1 - 0.5^(1/bits).
+        let bits = self.parameters as f64 * BITS_PER_PARAM;
+        1.0 - 0.5f64.powf(1.0 / bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn suite_covers_the_classifiers() {
+        let suite = imagenet_suite();
+        assert_eq!(suite.len(), 4);
+        for m in &suite {
+            assert!(m.base_accuracy > 0.7 && m.base_accuracy < 0.8);
+            assert!(m.parameters > 1_000_000);
+        }
+    }
+
+    #[test]
+    fn zero_fault_rate_preserves_accuracy() {
+        for m in imagenet_suite() {
+            assert!((m.accuracy_under_faults(0.0) - m.base_accuracy).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn bigger_networks_are_more_vulnerable() {
+        // VGG-16's ~138M parameters absorb more upsets than ResNet-50's 25M.
+        let suite = imagenet_suite();
+        let vgg = suite.iter().find(|m| m.network == NetworkId::Vgg16).unwrap();
+        let resnet = suite
+            .iter()
+            .find(|m| m.network == NetworkId::ResNet50)
+            .unwrap();
+        assert!(vgg.parameters > resnet.parameters);
+        assert!(vgg.half_accuracy_fault_rate() < resnet.half_accuracy_fault_rate());
+    }
+
+    #[test]
+    fn accuracy_collapses_at_high_fault_rates() {
+        for m in imagenet_suite() {
+            assert!(m.accuracy_under_faults(1e-6) < 0.01 * m.base_accuracy);
+        }
+    }
+
+    #[test]
+    fn half_accuracy_rate_is_consistent() {
+        for m in imagenet_suite() {
+            let eps = m.half_accuracy_fault_rate();
+            let acc = m.accuracy_under_faults(eps);
+            assert!((acc - 0.5 * m.base_accuracy).abs() < 1e-5, "{}", m.network);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn accuracy_nonincreasing_in_fault_rate(
+            e1 in 0.0..1e-8f64,
+            e2 in 0.0..1e-8f64,
+        ) {
+            let m = &imagenet_suite()[0];
+            let (lo, hi) = if e1 <= e2 { (e1, e2) } else { (e2, e1) };
+            prop_assert!(m.accuracy_under_faults(hi) <= m.accuracy_under_faults(lo) + 1e-12);
+        }
+    }
+}

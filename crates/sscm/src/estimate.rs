@@ -1,0 +1,175 @@
+//! Cost-estimate rollups.
+//!
+//! SSCM semantics (paper §II): "the total cost (modulo payload) of the
+//! first satellite is equal to the sum of the NRE and RE costs of each CER,
+//! while the total cost of each subsequent satellite is given by RE costs
+//! alone."
+
+use serde::{Deserialize, Serialize};
+use sudc_units::Usd;
+
+use crate::subsystems::Subsystem;
+
+/// One subsystem's estimated costs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SubsystemCost {
+    /// Which subsystem.
+    pub subsystem: Subsystem,
+    /// Non-recurring cost (design, qualification, prototype, GSE).
+    pub nre: Usd,
+    /// Recurring cost (per flight unit).
+    pub re: Usd,
+}
+
+impl SubsystemCost {
+    /// NRE + RE.
+    #[must_use]
+    pub fn total(&self) -> Usd {
+        self.nre + self.re
+    }
+}
+
+/// A complete satellite cost estimate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostEstimate {
+    items: Vec<SubsystemCost>,
+}
+
+impl CostEstimate {
+    /// Builds an estimate from per-subsystem items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a subsystem appears twice.
+    #[must_use]
+    pub fn new(items: Vec<SubsystemCost>) -> Self {
+        for (i, a) in items.iter().enumerate() {
+            for b in &items[i + 1..] {
+                assert!(
+                    a.subsystem != b.subsystem,
+                    "duplicate subsystem {} in estimate",
+                    a.subsystem
+                );
+            }
+        }
+        Self { items }
+    }
+
+    /// Per-subsystem line items.
+    #[must_use]
+    pub fn items(&self) -> &[SubsystemCost] {
+        &self.items
+    }
+
+    /// Cost line for one subsystem, if present.
+    #[must_use]
+    pub fn cost_of(&self, subsystem: Subsystem) -> Option<SubsystemCost> {
+        self.items.iter().copied().find(|i| i.subsystem == subsystem)
+    }
+
+    /// Total non-recurring cost.
+    #[must_use]
+    pub fn nre_total(&self) -> Usd {
+        self.items.iter().map(|i| i.nre).sum()
+    }
+
+    /// Total recurring cost (the marginal satellite).
+    #[must_use]
+    pub fn recurring_unit(&self) -> Usd {
+        self.items.iter().map(|i| i.re).sum()
+    }
+
+    /// Cost of the first satellite: NRE + RE.
+    #[must_use]
+    pub fn first_unit(&self) -> Usd {
+        self.nre_total() + self.recurring_unit()
+    }
+
+    /// Cost of building `n` identical satellites with no learning effects
+    /// (`NRE + n × RE`); see [`crate::wright`] for experience curves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    #[must_use]
+    pub fn fleet_cost(&self, n: u32) -> Usd {
+        assert!(n > 0, "fleet must contain at least one satellite");
+        self.nre_total() + self.recurring_unit() * f64::from(n)
+    }
+
+    /// Share of the first-unit cost attributable to one subsystem.
+    #[must_use]
+    pub fn share_of(&self, subsystem: Subsystem) -> f64 {
+        self.cost_of(subsystem)
+            .map_or(0.0, |c| c.total() / self.first_unit())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sudc_units::Usd;
+
+    fn sample() -> CostEstimate {
+        CostEstimate::new(vec![
+            SubsystemCost {
+                subsystem: Subsystem::Structure,
+                nre: Usd::from_millions(2.0),
+                re: Usd::from_millions(1.0),
+            },
+            SubsystemCost {
+                subsystem: Subsystem::Power,
+                nre: Usd::from_millions(4.0),
+                re: Usd::from_millions(3.0),
+            },
+        ])
+    }
+
+    #[test]
+    fn totals_follow_sscm_semantics() {
+        let est = sample();
+        assert_eq!(est.nre_total(), Usd::from_millions(6.0));
+        assert_eq!(est.recurring_unit(), Usd::from_millions(4.0));
+        assert_eq!(est.first_unit(), Usd::from_millions(10.0));
+    }
+
+    #[test]
+    fn fleet_cost_amortizes_nre() {
+        let est = sample();
+        assert_eq!(est.fleet_cost(1), est.first_unit());
+        assert_eq!(est.fleet_cost(3), Usd::from_millions(6.0 + 12.0));
+    }
+
+    #[test]
+    fn shares_sum_to_one() {
+        let est = sample();
+        let total: f64 = [Subsystem::Structure, Subsystem::Power]
+            .iter()
+            .map(|&s| est.share_of(s))
+            .sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_subsystem_has_zero_share() {
+        assert_eq!(sample().share_of(Subsystem::Ttc), 0.0);
+        assert!(sample().cost_of(Subsystem::Ttc).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate subsystem")]
+    fn duplicate_subsystem_panics() {
+        let item = SubsystemCost {
+            subsystem: Subsystem::Cdh,
+            nre: Usd::ZERO,
+            re: Usd::ZERO,
+        };
+        let _ = CostEstimate::new(vec![item, item]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one satellite")]
+    fn zero_fleet_panics() {
+        let _ = sample().fleet_cost(0);
+    }
+}

@@ -1,0 +1,39 @@
+//! SSCM-SµDC: a parametric, CER-based small-satellite cost model extended
+//! for space microdatacenters (paper §II).
+//!
+//! # Substitution notice
+//!
+//! The Aerospace Corporation's Small Satellite Cost Model (SSCM) is
+//! license-gated: its regression coefficients are proprietary, and the
+//! paper's authors only distribute their extension to SSCM licensees. This
+//! crate implements a model with the **same structure** — per-subsystem
+//! cost-estimating relationships (CERs) split into non-recurring (NRE) and
+//! recurring (RE) components, driven by a small set of design parameters —
+//! with openly published power-law forms calibrated so the paper's headline
+//! *shapes* hold (sublinear TCO vs. compute power, power-subsystem
+//! dominance, < 1 % compute-hardware share). See `DESIGN.md` §2.
+//!
+//! - [`calibration`] — log-space least-squares CER fitting from observed
+//!   cost data (the community-validation hook);
+//! - [`cer`] — the power-law CER primitive;
+//! - [`inputs`] — the Table I driver-parameter set;
+//! - [`subsystems`] — per-subsystem CERs and the satellite-level rollup;
+//! - [`estimate`] — NRE/RE cost estimates and lifetime reliability factors;
+//! - [`sensitivity`] — one-at-a-time (tornado) driver sensitivity;
+//! - [`wright`] — Wright's-law learning curves (§VI).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod calibration;
+pub mod cer;
+pub mod estimate;
+pub mod inputs;
+pub mod sensitivity;
+pub mod subsystems;
+pub mod wright;
+
+pub use estimate::{CostEstimate, SubsystemCost};
+pub use inputs::SscmInputs;
+pub use subsystems::Subsystem;
+pub use wright::LearningCurve;

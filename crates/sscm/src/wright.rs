@@ -1,0 +1,174 @@
+//! Wright's-law experience curves (paper §VI-A).
+//!
+//! `C_n = C_1 · n^(log2 b)`: every doubling of cumulative production
+//! multiplies unit cost by the progress ratio `b`. Aerospace progress
+//! ratios are historically strong — `b ∈ [0.7, 0.8]` — which is what makes
+//! distributed constellations of small SµDCs cheaper than monoliths.
+
+use serde::{Deserialize, Serialize};
+use sudc_units::Usd;
+
+/// A Wright's-law learning curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LearningCurve {
+    /// Progress ratio `b`: cost multiplier per production doubling.
+    pub progress_ratio: f64,
+}
+
+impl LearningCurve {
+    /// Creates a curve with the given progress ratio.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `progress_ratio` is outside `(0, 1]` — a ratio above 1
+    /// would mean costs *grow* with experience.
+    #[must_use]
+    pub fn new(progress_ratio: f64) -> Self {
+        assert!(
+            progress_ratio > 0.0 && progress_ratio <= 1.0,
+            "progress ratio must be in (0, 1], got {progress_ratio}"
+        );
+        Self { progress_ratio }
+    }
+
+    /// The paper's Fig. 22 assumption (`b = 0.75`).
+    #[must_use]
+    pub fn aerospace_default() -> Self {
+        Self::new(0.75)
+    }
+
+    /// Cost of the `n`-th unit: `C_1 · n^(log2 b)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sudc_sscm::wright::LearningCurve;
+    /// use sudc_units::Usd;
+    ///
+    /// let curve = LearningCurve::new(0.9);
+    /// let c1 = Usd::new(1.0);
+    /// assert!((curve.unit_cost(c1, 2).value() - 0.90).abs() < 1e-12);
+    /// assert!((curve.unit_cost(c1, 4).value() - 0.81).abs() < 1e-12);
+    /// ```
+    #[must_use]
+    pub fn unit_cost(&self, first_unit: Usd, n: u32) -> Usd {
+        assert!(n > 0, "unit index must be at least 1");
+        first_unit * f64::from(n).powf(self.progress_ratio.log2())
+    }
+
+    /// Total cost of units `1..=n` (direct summation — exact, not the
+    /// continuous approximation).
+    #[must_use]
+    pub fn cumulative_cost(&self, first_unit: Usd, n: u32) -> Usd {
+        (1..=n).map(|i| self.unit_cost(first_unit, i)).sum()
+    }
+
+    /// Average unit cost across a run of `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    #[must_use]
+    pub fn average_cost(&self, first_unit: Usd, n: u32) -> Usd {
+        assert!(n > 0, "average over an empty run is undefined");
+        self.cumulative_cost(first_unit, n) / f64::from(n)
+    }
+}
+
+impl Default for LearningCurve {
+    fn default() -> Self {
+        Self::aerospace_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_example_b_090() {
+        // Paper: "if C1 = $1, and b = 0.9, then C2 = $0.90, and C4 = $0.81".
+        let curve = LearningCurve::new(0.9);
+        let c1 = Usd::new(1.0);
+        assert!((curve.unit_cost(c1, 2).value() - 0.9).abs() < 1e-12);
+        assert!((curve.unit_cost(c1, 4).value() - 0.81).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hundredth_unit_is_less_than_half_at_b_075() {
+        // Paper Fig. 22: "By the time the 100th satellite is manufactured,
+        // cost has decreased by over 50%."
+        let curve = LearningCurve::aerospace_default();
+        let c100 = curve.unit_cost(Usd::new(1.0), 100);
+        assert!(c100.value() < 0.5, "100th unit at {c100}");
+        assert!(c100.value() > 0.1);
+    }
+
+    #[test]
+    fn no_learning_at_b_one() {
+        let curve = LearningCurve::new(1.0);
+        assert_eq!(curve.unit_cost(Usd::new(7.0), 50), Usd::new(7.0));
+        assert_eq!(curve.cumulative_cost(Usd::new(1.0), 10), Usd::new(10.0));
+    }
+
+    #[test]
+    fn cumulative_grows_sublinearly() {
+        let curve = LearningCurve::aerospace_default();
+        let c10 = curve.cumulative_cost(Usd::new(1.0), 10);
+        let c20 = curve.cumulative_cost(Usd::new(1.0), 20);
+        assert!(c20 < c10 * 2.0, "doubling the run must cost < 2x");
+        assert!(c20 > c10);
+    }
+
+    #[test]
+    #[should_panic(expected = "progress ratio")]
+    fn ratio_above_one_panics() {
+        let _ = LearningCurve::new(1.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unit index")]
+    fn zeroth_unit_panics() {
+        let _ = LearningCurve::aerospace_default().unit_cost(Usd::new(1.0), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn unit_costs_decrease_monotonically(
+            b in 0.6..0.99f64,
+            n in 1u32..500,
+        ) {
+            let curve = LearningCurve::new(b);
+            let c_n = curve.unit_cost(Usd::new(1.0), n);
+            let c_n1 = curve.unit_cost(Usd::new(1.0), n + 1);
+            prop_assert!(c_n1 <= c_n);
+        }
+
+        #[test]
+        fn stronger_learning_is_cheaper(
+            n in 2u32..300,
+        ) {
+            let strong = LearningCurve::new(0.65);
+            let weak = LearningCurve::new(0.85);
+            prop_assert!(
+                strong.cumulative_cost(Usd::new(1.0), n) < weak.cumulative_cost(Usd::new(1.0), n)
+            );
+        }
+
+        #[test]
+        fn average_between_first_and_last(
+            b in 0.6..0.95f64,
+            n in 2u32..200,
+        ) {
+            let curve = LearningCurve::new(b);
+            let avg = curve.average_cost(Usd::new(1.0), n);
+            prop_assert!(avg < Usd::new(1.0));
+            prop_assert!(avg > curve.unit_cost(Usd::new(1.0), n));
+        }
+    }
+}

@@ -1,0 +1,17 @@
+//! Terrestrial-datacenter TCO comparators (paper §III-A, Figs. 11, 15, 16).
+//!
+//! The paper contrasts SµDC economics with terrestrial datacenters, where
+//! "server costs range from 57% to 72% of TCO, while power costs are only
+//! 7% to 13%", using the Hardy et al. analytical TCO framework plus the
+//! Barroso/Hölzle warehouse-scale breakdown. This crate embeds those
+//! category breakdowns and their response to compute-energy-efficiency
+//! scaling, with and without hardware-price scaling.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod model;
+pub mod scaling;
+
+pub use model::{CostCategory, TerrestrialModel};
+pub use scaling::PriceScaling;

@@ -1,0 +1,150 @@
+//! TCO response to compute-energy-efficiency scaling (Figs. 15 and 16).
+//!
+//! Fig. 15 assumes hardware cost is invariant: only the efficiency-scaled
+//! categories shrink as `1/s`. Fig. 16 additionally scales hardware price
+//! logarithmically with efficiency — "computer hardware which is 100× more
+//! energy efficient than baseline costs 3× more money" — which makes
+//! terrestrial TCO *increase dramatically* while SµDC TCO keeps falling.
+
+use serde::{Deserialize, Serialize};
+
+use crate::model::{CostCategory, TerrestrialModel};
+
+/// Hardware-price response to energy-efficiency improvements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum PriceScaling {
+    /// Hardware price does not change with efficiency (Fig. 15).
+    #[default]
+    Constant,
+    /// Logarithmic price growth: 100× efficiency costs 3× (Fig. 16).
+    Logarithmic,
+}
+
+impl PriceScaling {
+    /// Hardware price multiplier at energy-efficiency scalar `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s < 1`.
+    ///
+    /// ```
+    /// use sudc_terrestrial::PriceScaling;
+    ///
+    /// assert_eq!(PriceScaling::Constant.price_factor(100.0), 1.0);
+    /// assert!((PriceScaling::Logarithmic.price_factor(100.0) - 3.0).abs() < 1e-9);
+    /// ```
+    #[must_use]
+    pub fn price_factor(self, s: f64) -> f64 {
+        assert!(
+            s >= 1.0 && s.is_finite(),
+            "efficiency scalar must be >= 1, got {s}"
+        );
+        match self {
+            Self::Constant => 1.0,
+            // 1 + 2·log100(s): equals 3.0 at s = 100, 4.0 at s = 1000.
+            Self::Logarithmic => 1.0 + 2.0 * s.ln() / 100f64.ln(),
+        }
+    }
+}
+
+impl TerrestrialModel {
+    /// Relative TCO at compute-energy-efficiency scalar `s` (baseline 1.0
+    /// at `s = 1`), under the given hardware-price response.
+    #[must_use]
+    pub fn relative_tco(&self, s: f64, pricing: PriceScaling) -> f64 {
+        let price_factor = pricing.price_factor(s);
+        self.shares
+            .iter()
+            .map(|&(category, share)| {
+                let scaled = if self.efficiency_scaled.contains(&category) {
+                    share / s
+                } else {
+                    share
+                };
+                if category == CostCategory::Servers {
+                    share * price_factor + (scaled - share)
+                } else {
+                    scaled
+                }
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn baseline_is_one() {
+        for m in TerrestrialModel::scaling_variants() {
+            assert!((m.relative_tco(1.0, PriceScaling::Constant) - 1.0).abs() < 1e-12);
+            assert!((m.relative_tco(1.0, PriceScaling::Logarithmic) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn default_model_saves_less_than_ten_percent() {
+        // Paper: "the impact of compute energy efficiency on TCO of a
+        // terrestrial datacenter is minimal - less than ten percent for the
+        // On-Earth (Default) case".
+        let m = TerrestrialModel::hardy_default();
+        let t = m.relative_tco(1000.0, PriceScaling::Constant);
+        assert!(t > 0.90, "default asymptote {t}");
+    }
+
+    #[test]
+    fn lpo_model_saves_at_most_twenty_five_percent() {
+        // Paper: "the impact ... is limited to twenty-five percent (LPO)".
+        let m = TerrestrialModel::hardy_lpo();
+        let t = m.relative_tco(1000.0, PriceScaling::Constant);
+        assert!(t > 0.75 && t < 0.80, "LPO asymptote {t}");
+    }
+
+    #[test]
+    fn log_pricing_doubles_terrestrial_tco_by_200x() {
+        // Paper: "TCO for terrestrial datacenters increases dramatically -
+        // over a 100% increase in TCO with 200x energy efficiency scaling".
+        for m in TerrestrialModel::scaling_variants() {
+            let t = m.relative_tco(200.0, PriceScaling::Logarithmic);
+            assert!(t > 2.0, "{}: {t}", m.name);
+        }
+    }
+
+    #[test]
+    fn price_factor_anchors() {
+        assert!((PriceScaling::Logarithmic.price_factor(1.0) - 1.0).abs() < 1e-12);
+        assert!((PriceScaling::Logarithmic.price_factor(100.0) - 3.0).abs() < 1e-12);
+        assert!((PriceScaling::Logarithmic.price_factor(1000.0) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "efficiency scalar")]
+    fn sub_unity_scalar_panics() {
+        let _ = PriceScaling::Constant.price_factor(0.5);
+    }
+
+    proptest! {
+        #[test]
+        fn constant_price_tco_is_nonincreasing(
+            s1 in 1.0..1000.0f64,
+            s2 in 1.0..1000.0f64,
+        ) {
+            let m = TerrestrialModel::hardy_lpo();
+            let (lo, hi) = if s1 <= s2 { (s1, s2) } else { (s2, s1) };
+            prop_assert!(
+                m.relative_tco(hi, PriceScaling::Constant)
+                    <= m.relative_tco(lo, PriceScaling::Constant) + 1e-12
+            );
+        }
+
+        #[test]
+        fn tco_bounded_below_by_unscalable_share(s in 1.0..10_000.0f64) {
+            for m in TerrestrialModel::scaling_variants() {
+                let floor = 1.0 - m.scalable_share();
+                prop_assert!(m.relative_tco(s, PriceScaling::Constant) >= floor - 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Variable-emissivity radiators (LAVER-class panels).
+//!
+//! Fig. 12's emissivity value cites low-alpha variable-emissivity radiator
+//! panels: devices whose effective emissivity switches between a low
+//! "cold-survival" state and a high "full-rejection" state. They solve the
+//! cold-case problem a fixed high-ε radiator creates — when the payload
+//! idles, a fixed panel overcools and heater power must make up the
+//! difference.
+
+use serde::{Deserialize, Serialize};
+use sudc_units::{Kelvin, Watts};
+
+use crate::radiator::Radiator;
+
+/// A radiator whose emissivity modulates between two states.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VariableEmissivityRadiator {
+    /// Underlying panel (its `emissivity` field is the *high* state).
+    pub panel: Radiator,
+    /// Low-state emissivity (louvers closed / electrochromic dark).
+    pub low_emissivity: f64,
+}
+
+impl VariableEmissivityRadiator {
+    /// Wraps a panel with a LAVER-class low state (ε ≈ 0.2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `low_emissivity` is not in `(0, panel.emissivity]`.
+    #[must_use]
+    pub fn laver(panel: Radiator) -> Self {
+        Self::with_low_state(panel, 0.2)
+    }
+
+    /// Wraps a panel with an explicit low-state emissivity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `low_emissivity` is not in `(0, panel.emissivity]`.
+    #[must_use]
+    pub fn with_low_state(panel: Radiator, low_emissivity: f64) -> Self {
+        assert!(
+            low_emissivity > 0.0 && low_emissivity <= panel.emissivity,
+            "low emissivity must be in (0, {}], got {low_emissivity}",
+            panel.emissivity
+        );
+        Self {
+            panel,
+            low_emissivity,
+        }
+    }
+
+    /// Heat rejected with the panel fully in its low state.
+    #[must_use]
+    pub fn emitted_low(self, t: Kelvin) -> Watts {
+        let mut low = self.panel;
+        low.emissivity = self.low_emissivity;
+        low.emitted_power(t)
+    }
+
+    /// Heat rejected fully in the high state.
+    #[must_use]
+    pub fn emitted_high(self, t: Kelvin) -> Watts {
+        self.panel.emitted_power(t)
+    }
+
+    /// The emissivity setting (between the two states) that rejects exactly
+    /// `load` at temperature `t`, or `None` if the load is outside the
+    /// panel's modulation range.
+    #[must_use]
+    pub fn emissivity_for(self, load: Watts, t: Kelvin) -> Option<f64> {
+        let low = self.emitted_low(t);
+        let high = self.emitted_high(t);
+        if load < low || load > high {
+            return None;
+        }
+        let span = self.panel.emissivity - self.low_emissivity;
+        let fraction = (load - low) / (high - low);
+        Some(self.low_emissivity + fraction * span)
+    }
+
+    /// Heater power needed to hold temperature `t` at an idle heat load —
+    /// zero if the low state can throttle down far enough.
+    #[must_use]
+    pub fn cold_case_heater_power(self, idle_load: Watts, t: Kelvin) -> Watts {
+        let leak = self.emitted_low(t);
+        if leak > idle_load {
+            leak - idle_load
+        } else {
+            Watts::ZERO
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn panel() -> Radiator {
+        Radiator::double_sided(sudc_units::SquareMeters::new(4.0))
+    }
+
+    #[test]
+    fn modulation_range_brackets_the_fixed_panel() {
+        let v = VariableEmissivityRadiator::laver(panel());
+        let t = Kelvin::from_celsius(45.0);
+        assert!(v.emitted_low(t) < v.emitted_high(t));
+        assert_eq!(v.emitted_high(t), panel().emitted_power(t));
+        // Low state is proportional to emissivity ratio.
+        let ratio = v.emitted_low(t) / v.emitted_high(t);
+        assert!((ratio - 0.2 / 0.86).abs() < 1e-9);
+    }
+
+    #[test]
+    fn emissivity_interpolates_the_load() {
+        let v = VariableEmissivityRadiator::laver(panel());
+        let t = Kelvin::from_celsius(45.0);
+        let mid = (v.emitted_low(t) + v.emitted_high(t)) * 0.5;
+        let eps = v.emissivity_for(mid, t).unwrap();
+        assert!((eps - (0.2 + 0.86) / 2.0).abs() < 1e-9);
+        // Out-of-range loads are rejected.
+        assert!(v.emissivity_for(Watts::new(1e9), t).is_none());
+        assert!(v.emissivity_for(Watts::ZERO, t).is_none());
+    }
+
+    #[test]
+    fn variable_panels_eliminate_most_cold_case_heater_power() {
+        let v = VariableEmissivityRadiator::laver(panel());
+        let t = Kelvin::from_celsius(10.0);
+        let idle = Watts::new(400.0);
+        let with_laver = v.cold_case_heater_power(idle, t);
+        // A fixed high-e panel leaks its full emitted power.
+        let fixed_leak = panel().emitted_power(t) - idle;
+        assert!(with_laver < fixed_leak * 0.3, "heater {with_laver} vs fixed {fixed_leak}");
+    }
+
+    #[test]
+    fn warm_idle_needs_no_heater() {
+        let v = VariableEmissivityRadiator::laver(panel());
+        // Idle load that exceeds even the low-state leak.
+        let t = Kelvin::from_celsius(0.0);
+        let leak = v.emitted_low(t);
+        assert_eq!(v.cold_case_heater_power(leak + Watts::new(1.0), t), Watts::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "low emissivity")]
+    fn inverted_states_panic() {
+        let _ = VariableEmissivityRadiator::with_low_state(panel(), 0.95);
+    }
+}
