@@ -19,7 +19,6 @@
 //!   this is what makes *per-layer* accelerators beat a single global
 //!   design.
 
-use serde::{Deserialize, Serialize};
 use sudc_compute::networks::{Layer, Network};
 use sudc_units::Joules;
 
@@ -32,7 +31,7 @@ use crate::energy::EnergyTable;
 /// recover a slice of that freedom with two canonical dataflows and let the
 /// mapper pick the cheaper one per layer (dataflow is a software decision,
 /// so every architecture — global or per-layer — gets the choice).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Dataflow {
     /// Eyeriss-style row stationary: kernel rows held in PE register files,
     /// weights reused across an output row, ifmaps multicast across the
@@ -126,7 +125,10 @@ pub fn count_accesses_with(
         // get no kernel-row RF reuse.
         Dataflow::WeightStationary => {
             let weights = layer.weights() as f64;
-            (macs / m_par, weights * (macs / (weights * out_w * out_h)).max(1.0))
+            (
+                macs / m_par,
+                weights * (macs / (weights * out_w * out_h)).max(1.0),
+            )
         }
     };
     // Partial sums leave the RF once per kernel-row accumulation; if the
@@ -146,7 +148,9 @@ pub fn count_accesses_with(
     let ifmap_bytes = layer.input_activations() as f64 * WORD_BYTES;
     let weight_bytes = layer.weights() as f64 * WORD_BYTES;
     let output_bytes = layer.output_activations() as f64 * WORD_BYTES;
-    let ifmap_passes = (ifmap_bytes / (f64::from(config.ifmap_kib) * 1024.0)).ceil().max(1.0);
+    let ifmap_passes = (ifmap_bytes / (f64::from(config.ifmap_kib) * 1024.0))
+        .ceil()
+        .max(1.0);
     let weight_passes = (weight_bytes / (f64::from(config.weight_kib) * 1024.0))
         .ceil()
         .max(1.0);

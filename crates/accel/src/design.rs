@@ -5,8 +5,6 @@
 //! accumulation buffers. A total of 7168 designs were evaluated." We sweep
 //! 7 × 4 PE-grid shapes and 8 × 8 × 4 buffer sizings: 7·4·8·8·4 = 7 168.
 
-use serde::{Deserialize, Serialize};
-
 /// PE-grid x-dimension options.
 pub const PE_X_OPTIONS: [u32; 7] = [4, 8, 12, 16, 20, 24, 28];
 /// PE-grid y-dimension options.
@@ -19,7 +17,7 @@ pub const WEIGHT_KIB_OPTIONS: [u32; 8] = [8, 16, 24, 32, 48, 64, 96, 128];
 pub const PSUM_KIB_OPTIONS: [u32; 4] = [8, 16, 32, 64];
 
 /// One Eyeriss-like row-stationary accelerator configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct AcceleratorConfig {
     /// PE-grid width.
     pub pe_x: u32,
@@ -72,8 +70,7 @@ impl core::fmt::Display for AcceleratorConfig {
 /// Enumerates the full 7 168-design space in a deterministic order.
 #[must_use]
 pub fn design_space() -> Vec<AcceleratorConfig> {
-    let mut space =
-        Vec::with_capacity(PE_X_OPTIONS.len() * PE_Y_OPTIONS.len() * 8 * 8 * 4);
+    let mut space = Vec::with_capacity(PE_X_OPTIONS.len() * PE_Y_OPTIONS.len() * 8 * 8 * 4);
     for &pe_x in &PE_X_OPTIONS {
         for &pe_y in &PE_Y_OPTIONS {
             for &ifmap_kib in &IFMAP_KIB_OPTIONS {

@@ -16,7 +16,6 @@
 
 use std::collections::BTreeMap;
 
-use serde::Serialize;
 use sudc_compute::hardware::rtx_3090;
 use sudc_compute::networks::{Network, NetworkId};
 use sudc_compute::workloads::{self, Workload};
@@ -25,6 +24,7 @@ use sudc_units::Joules;
 use crate::dataflow::{layer_efficiency, layer_energy, network_energy};
 use crate::design::{design_space, AcceleratorConfig};
 use crate::energy::EnergyTable;
+use crate::memo::LayerMemo;
 
 /// Framework overhead on the GPU baseline: measured wall-power × time
 /// divided by utilization-derived useful MACs understates per-MAC energy,
@@ -33,7 +33,7 @@ use crate::energy::EnergyTable;
 const GPU_FRAMEWORK_OVERHEAD: f64 = 6.0;
 
 /// The compute system architectures compared in Figs. 17–18.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum SystemArchitecture {
     /// Commodity GPU baseline (RTX 3090).
     CommodityGpu,
@@ -73,7 +73,7 @@ pub fn gpu_network_energy(workload: &Workload, network: &Network) -> Joules {
 }
 
 /// Per-network outcome of the sweep.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NetworkResult {
     /// The network evaluated.
     pub network: NetworkId,
@@ -105,7 +105,7 @@ impl NetworkResult {
 }
 
 /// Complete outcome of the 7 168-design sweep.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DseOutcome {
     /// The globally optimal design (geomean over all layers of all nets).
     pub global_best: AcceleratorConfig,
@@ -120,11 +120,7 @@ impl DseOutcome {
     /// across all networks (Fig. 17's headline numbers).
     #[must_use]
     pub fn mean_improvement(&self, arch: SystemArchitecture) -> f64 {
-        let log_sum: f64 = self
-            .networks
-            .iter()
-            .map(|n| n.improvement(arch).ln())
-            .sum();
+        let log_sum: f64 = self.networks.iter().map(|n| n.improvement(arch).ln()).sum();
         (log_sum / self.networks.len() as f64).exp()
     }
 
@@ -142,31 +138,140 @@ pub fn run_full_dse() -> DseOutcome {
     run_dse(&design_space(), &EnergyTable::default())
 }
 
-/// Runs the sweep over an arbitrary design space.
+/// Per-thread sweep accumulator: scores paired with *config indices* so the
+/// cross-chunk merge can express the serial tie-break (lowest index wins).
+struct BestSoFar {
+    global: (f64, usize),
+    per_network: Vec<(f64, usize)>,
+    per_layer: Vec<Vec<(f64, usize)>>,
+}
+
+impl BestSoFar {
+    fn new(networks: &[Network]) -> Self {
+        Self {
+            global: (f64::NEG_INFINITY, 0),
+            per_network: vec![(f64::NEG_INFINITY, 0); networks.len()],
+            per_layer: networks
+                .iter()
+                .map(|n| vec![(f64::NEG_INFINITY, 0); n.layers.len()])
+                .collect(),
+        }
+    }
+}
+
+/// Keeps `a` unless `b` is *strictly* better. Chunks merge left to right in
+/// index order, so this reproduces the serial loop's first-wins `>` test and
+/// ties resolve to the lowest config index.
+fn better(a: (f64, usize), b: (f64, usize)) -> (f64, usize) {
+    if b.0 > a.0 {
+        b
+    } else {
+        a
+    }
+}
+
+/// Runs the sweep over an arbitrary design space, in parallel.
+///
+/// The space is partitioned into contiguous chunks across the workspace
+/// executor's threads ([`sudc_par::threads`]); each thread folds its chunk
+/// with the same arithmetic as [`run_dse_serial`], reading layer
+/// efficiencies through a per-`(config, layer-shape)` memo ([`LayerMemo`]),
+/// and chunk results merge in index order with a strictly-greater test.
+/// The outcome is bit-identical to the serial sweep at every thread count.
 ///
 /// # Panics
 ///
 /// Panics if `space` is empty.
 #[must_use]
 pub fn run_dse(space: &[AcceleratorConfig], table: &EnergyTable) -> DseOutcome {
+    run_dse_threads(sudc_par::threads(), space, table)
+}
+
+/// [`run_dse`] with an explicit worker count (1 = serial execution order).
+///
+/// # Panics
+///
+/// Panics if `space` is empty.
+#[must_use]
+pub fn run_dse_threads(
+    workers: usize,
+    space: &[AcceleratorConfig],
+    table: &EnergyTable,
+) -> DseOutcome {
     assert!(!space.is_empty(), "design space must be non-empty");
 
-    let workload_by_network: BTreeMap<NetworkId, Workload> = workloads::suite()
-        .into_iter()
-        .map(|w| (w.network, w))
-        .collect();
+    let networks: Vec<Network> = NetworkId::all().iter().map(|id| id.network()).collect();
+    let memo = LayerMemo::for_networks(&networks);
+
+    let best = sudc_par::par_reduce_threads(
+        workers,
+        space,
+        || BestSoFar::new(&networks),
+        |mut best, idx, &config| {
+            let effs = memo.efficiencies(config, table);
+            let mut global_log_sum = 0.0;
+            let mut global_layers = 0usize;
+            for (ni, net) in networks.iter().enumerate() {
+                let mut net_log_sum = 0.0;
+                for li in 0..net.layers.len() {
+                    let eff = effs[memo.slot(ni, li)];
+                    net_log_sum += eff.ln();
+                    best.per_layer[ni][li] = better(best.per_layer[ni][li], (eff, idx));
+                }
+                let net_geo = net_log_sum / net.layers.len() as f64;
+                best.per_network[ni] = better(best.per_network[ni], (net_geo, idx));
+                global_log_sum += net_log_sum;
+                global_layers += net.layers.len();
+            }
+            let global_geo = global_log_sum / global_layers as f64;
+            best.global = better(best.global, (global_geo, idx));
+            best
+        },
+        |mut a, b| {
+            a.global = better(a.global, b.global);
+            for (av, bv) in a.per_network.iter_mut().zip(b.per_network) {
+                *av = better(*av, bv);
+            }
+            for (al, bl) in a.per_layer.iter_mut().zip(b.per_layer) {
+                for (av, bv) in al.iter_mut().zip(bl) {
+                    *av = better(*av, bv);
+                }
+            }
+            a
+        },
+    );
+
+    assemble_outcome(
+        space,
+        table,
+        &networks,
+        space[best.global.1],
+        &best.per_network,
+        &best.per_layer,
+    )
+}
+
+/// Reference serial sweep — the pre-parallelization implementation, kept as
+/// the oracle that [`run_dse`] must match bit for bit.
+///
+/// # Panics
+///
+/// Panics if `space` is empty.
+#[must_use]
+pub fn run_dse_serial(space: &[AcceleratorConfig], table: &EnergyTable) -> DseOutcome {
+    assert!(!space.is_empty(), "design space must be non-empty");
+
     let networks: Vec<Network> = NetworkId::all().iter().map(|id| id.network()).collect();
 
     // Sweep: track global geomean, per-network geomean, and per-layer best.
-    let mut best_global: (f64, AcceleratorConfig) = (f64::NEG_INFINITY, space[0]);
-    let mut best_per_network: Vec<(f64, AcceleratorConfig)> =
-        vec![(f64::NEG_INFINITY, space[0]); networks.len()];
-    let mut best_per_layer: Vec<Vec<(f64, AcceleratorConfig)>> = networks
+    let mut best_global: (f64, usize) = (f64::NEG_INFINITY, 0);
+    let mut best_per_network: Vec<(f64, usize)> = vec![(f64::NEG_INFINITY, 0); networks.len()];
+    let mut best_per_layer: Vec<Vec<(f64, usize)>> = networks
         .iter()
-        .map(|n| vec![(f64::NEG_INFINITY, space[0]); n.layers.len()])
+        .map(|n| vec![(f64::NEG_INFINITY, 0); n.layers.len()])
         .collect();
 
-    for &config in space {
+    for (idx, &config) in space.iter().enumerate() {
         let mut global_log_sum = 0.0;
         let mut global_layers = 0usize;
         for (ni, net) in networks.iter().enumerate() {
@@ -176,41 +281,66 @@ pub fn run_dse(space: &[AcceleratorConfig], table: &EnergyTable) -> DseOutcome {
                 let log_eff = eff.ln();
                 net_log_sum += log_eff;
                 if eff > best_per_layer[ni][li].0 {
-                    best_per_layer[ni][li] = (eff, config);
+                    best_per_layer[ni][li] = (eff, idx);
                 }
             }
             let net_geo = net_log_sum / net.layers.len() as f64;
             if net_geo > best_per_network[ni].0 {
-                best_per_network[ni] = (net_geo, config);
+                best_per_network[ni] = (net_geo, idx);
             }
             global_log_sum += net_log_sum;
             global_layers += net.layers.len();
         }
         let global_geo = global_log_sum / global_layers as f64;
         if global_geo > best_global.0 {
-            best_global = (global_geo, config);
+            best_global = (global_geo, idx);
         }
     }
 
-    let global_best = best_global.1;
+    assemble_outcome(
+        space,
+        table,
+        &networks,
+        space[best_global.1],
+        &best_per_network,
+        &best_per_layer,
+    )
+}
+
+/// Builds the [`DseOutcome`] from winning config indices — shared by the
+/// serial and parallel sweeps so their outputs are structurally identical.
+fn assemble_outcome(
+    space: &[AcceleratorConfig],
+    table: &EnergyTable,
+    networks: &[Network],
+    global_best: AcceleratorConfig,
+    best_per_network: &[(f64, usize)],
+    best_per_layer: &[Vec<(f64, usize)>],
+) -> DseOutcome {
+    let workload_by_network: BTreeMap<NetworkId, Workload> = workloads::suite()
+        .into_iter()
+        .map(|w| (w.network, w))
+        .collect();
+
     let results = networks
         .iter()
         .enumerate()
         .map(|(ni, net)| {
             let workload = &workload_by_network[&net.id];
+            let per_network_best = space[best_per_network[ni].1];
             let per_layer_energy: Joules = net
                 .layers
                 .iter()
                 .zip(&best_per_layer[ni])
-                .map(|(layer, &(_, cfg))| layer_energy(cfg, table, layer))
+                .map(|(layer, &(_, cfg))| layer_energy(space[cfg], table, layer))
                 .sum();
             NetworkResult {
                 network: net.id,
                 gpu_energy: gpu_network_energy(workload, net),
                 global_energy: network_energy(global_best, table, net),
-                per_network_energy: network_energy(best_per_network[ni].1, table, net),
+                per_network_energy: network_energy(per_network_best, table, net),
                 per_layer_energy,
-                best_config: best_per_network[ni].1,
+                best_config: per_network_best,
             }
         })
         .collect();
@@ -240,7 +370,10 @@ mod tests {
         let per_layer = out.mean_improvement(SystemArchitecture::PerLayerAccelerator);
         assert!(global > 1.0, "global {global}");
         assert!(per_net >= global, "per-net {per_net} < global {global}");
-        assert!(per_layer >= per_net, "per-layer {per_layer} < per-net {per_net}");
+        assert!(
+            per_layer >= per_net,
+            "per-layer {per_layer} < per-net {per_net}"
+        );
     }
 
     #[test]
@@ -286,5 +419,26 @@ mod tests {
     #[should_panic(expected = "design space must be non-empty")]
     fn empty_space_panics() {
         let _ = run_dse(&[], &EnergyTable::default());
+    }
+
+    #[test]
+    fn parallel_sweep_is_bit_identical_to_serial() {
+        let space = small_space();
+        let table = EnergyTable::default();
+        let reference = run_dse_serial(&space, &table);
+        for workers in [1usize, 2, 3, 7] {
+            let got = run_dse_threads(workers, &space, &table);
+            assert_eq!(got, reference, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn single_config_space_selects_that_config_everywhere() {
+        let space = vec![AcceleratorConfig::reference()];
+        let out = run_dse(&space, &EnergyTable::default());
+        assert_eq!(out.global_best, space[0]);
+        for n in &out.networks {
+            assert_eq!(n.best_config, space[0]);
+        }
     }
 }

@@ -5,10 +5,8 @@
 //! global-buffer access cost a few ×, and DRAM costs ~100–200×. Buffer
 //! access energy grows with capacity (CACTI-style ~√size scaling).
 
-use serde::{Deserialize, Serialize};
-
 /// Energy per elementary action, picojoules.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EnergyTable {
     /// One 16-bit multiply-accumulate.
     pub mac_pj: f64,

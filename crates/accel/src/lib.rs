@@ -18,7 +18,9 @@
 //! - [`design`] — the accelerator configuration and the 7 168-point space;
 //! - [`dataflow`] — row-stationary access counting (Timeloop's role);
 //! - [`dse`] — sweep, selection (global / per-network / per-layer), and
-//!   efficiency-improvement reporting (Fig. 17);
+//!   efficiency-improvement reporting (Fig. 17); the sweep runs chunked
+//!   across the [`sudc_par`] executor, bit-identical to its serial oracle;
+//! - [`memo`] — per-`(config, layer-shape)` efficiency memoization;
 //! - [`pipeline`] — per-layer pipeline timing and double-buffer sizing
 //!   (Fig. 18).
 
@@ -29,6 +31,7 @@ pub mod dataflow;
 pub mod design;
 pub mod dse;
 pub mod energy;
+pub mod memo;
 pub mod pipeline;
 
 pub use design::AcceleratorConfig;

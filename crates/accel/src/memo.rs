@@ -1,0 +1,137 @@
+//! Layer-shape memoization for the design-space sweep.
+//!
+//! The DSE's cost model depends only on a layer's *shape*, and CNN suites
+//! repeat shapes heavily (every 3×3/stride-1 block of a ResNet stage is
+//! identical, U-Net mirrors its encoder, …). Deduplicating shapes up front
+//! means each of the 7 168 configurations evaluates each distinct shape
+//! exactly once — the per-`(config, layer-shape)` cache the sweep reads
+//! through — which cuts the hot loop by the suite's duplication factor
+//! (~2–3× for the Table III networks) in serial *and* parallel runs.
+
+use std::collections::HashMap;
+
+use sudc_compute::networks::{Layer, Network};
+
+use crate::dataflow::layer_efficiency;
+use crate::design::AcceleratorConfig;
+use crate::energy::EnergyTable;
+
+/// Shape-deduplicated view of a network suite.
+#[derive(Debug, Clone)]
+pub struct LayerMemo {
+    /// Distinct layer shapes, in first-appearance order.
+    unique: Vec<Layer>,
+    /// `slot[network][layer]` → index into `unique`.
+    slot: Vec<Vec<usize>>,
+    /// Total (non-deduplicated) layer count across the suite.
+    total_layers: usize,
+}
+
+impl LayerMemo {
+    /// Builds the memo for a suite of networks.
+    #[must_use]
+    pub fn for_networks(networks: &[Network]) -> Self {
+        let mut unique: Vec<Layer> = Vec::new();
+        let mut index_of: HashMap<Layer, usize> = HashMap::new();
+        let mut total_layers = 0;
+        let slot = networks
+            .iter()
+            .map(|net| {
+                net.layers
+                    .iter()
+                    .map(|layer| {
+                        total_layers += 1;
+                        *index_of.entry(layer.clone()).or_insert_with(|| {
+                            unique.push(layer.clone());
+                            unique.len() - 1
+                        })
+                    })
+                    .collect()
+            })
+            .collect();
+        Self {
+            unique,
+            slot,
+            total_layers,
+        }
+    }
+
+    /// The distinct layer shapes.
+    #[must_use]
+    pub fn unique_layers(&self) -> &[Layer] {
+        &self.unique
+    }
+
+    /// Total layer count before deduplication.
+    #[must_use]
+    pub fn total_layers(&self) -> usize {
+        self.total_layers
+    }
+
+    /// Index into [`Self::unique_layers`] for layer `li` of network `ni`.
+    #[must_use]
+    pub fn slot(&self, ni: usize, li: usize) -> usize {
+        self.slot[ni][li]
+    }
+
+    /// Evaluates `layer_efficiency` once per distinct shape for one
+    /// configuration; read results back through [`Self::slot`].
+    #[must_use]
+    pub fn efficiencies(&self, config: AcceleratorConfig, table: &EnergyTable) -> Vec<f64> {
+        self.unique
+            .iter()
+            .map(|layer| layer_efficiency(config, table, layer))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sudc_compute::networks::NetworkId;
+
+    fn suite() -> Vec<Network> {
+        NetworkId::all().iter().map(|id| id.network()).collect()
+    }
+
+    #[test]
+    fn suite_has_substantial_shape_duplication() {
+        let memo = LayerMemo::for_networks(&suite());
+        assert!(
+            memo.unique_layers().len() * 3 < memo.total_layers() * 2,
+            "expected >= 1.5x duplication, got {} unique of {}",
+            memo.unique_layers().len(),
+            memo.total_layers()
+        );
+    }
+
+    #[test]
+    fn slots_point_at_identical_shapes() {
+        let networks = suite();
+        let memo = LayerMemo::for_networks(&networks);
+        for (ni, net) in networks.iter().enumerate() {
+            for (li, layer) in net.layers.iter().enumerate() {
+                assert_eq!(&memo.unique_layers()[memo.slot(ni, li)], layer);
+            }
+        }
+    }
+
+    #[test]
+    fn memoized_efficiencies_match_direct_evaluation() {
+        let networks = suite();
+        let memo = LayerMemo::for_networks(&networks);
+        let table = EnergyTable::default();
+        let config = AcceleratorConfig::reference();
+        let effs = memo.efficiencies(config, &table);
+        for (ni, net) in networks.iter().enumerate().take(3) {
+            for (li, layer) in net.layers.iter().enumerate() {
+                let direct = layer_efficiency(config, &table, layer);
+                let memoized = effs[memo.slot(ni, li)];
+                assert!(
+                    (direct - memoized).abs() == 0.0,
+                    "net {ni} layer {li}: {direct} vs {memoized}"
+                );
+            }
+        }
+    }
+}

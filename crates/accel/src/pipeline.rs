@@ -7,7 +7,6 @@
 //! latencies, the bottleneck stage that sets throughput, and the SRAM the
 //! double buffers require.
 
-use serde::Serialize;
 use sudc_compute::networks::Network;
 use sudc_units::Seconds;
 
@@ -21,7 +20,7 @@ pub const CLOCK_HZ: f64 = 1.0e9;
 const WORD_BYTES: u64 = 2;
 
 /// Timing analysis of one per-layer pipeline.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct PipelineTiming {
     /// Per-stage latency for one input, seconds.
     pub stage_latencies: Vec<Seconds>,

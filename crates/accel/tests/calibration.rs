@@ -4,9 +4,18 @@ fn calibration_print() {
     let out = sudc_accel::dse::run_full_dse();
     use sudc_accel::dse::SystemArchitecture as SA;
     println!("global best: {}", out.global_best);
-    println!("global   improvement: {:.1}x", out.mean_improvement(SA::GlobalAccelerator));
-    println!("per-net  improvement: {:.1}x", out.mean_improvement(SA::PerNetworkAccelerator));
-    println!("per-layer improvement: {:.1}x", out.mean_improvement(SA::PerLayerAccelerator));
+    println!(
+        "global   improvement: {:.1}x",
+        out.mean_improvement(SA::GlobalAccelerator)
+    );
+    println!(
+        "per-net  improvement: {:.1}x",
+        out.mean_improvement(SA::PerNetworkAccelerator)
+    );
+    println!(
+        "per-layer improvement: {:.1}x",
+        out.mean_improvement(SA::PerLayerAccelerator)
+    );
     for n in &out.networks {
         println!("  {:20} gpu {:.3} J  glob {:.4} J  pernet {:.4} J  perlayer {:.4} J  (impr {:.0}/{:.0}/{:.0})",
             n.network.to_string(), n.gpu_energy.value(), n.global_energy.value(),

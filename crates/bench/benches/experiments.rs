@@ -1,103 +1,146 @@
-//! Criterion benchmarks — one per reproduced table/figure.
+//! Dependency-free benchmark harness (`cargo bench -p sudc-bench`).
 //!
-//! Each benchmark measures the full regeneration of one experiment's rows,
-//! so `cargo bench` doubles as an end-to-end smoke test of every analysis
-//! path (the figure generators assert internally via `expect`).
+//! Times the parallel sweep engine against its serial oracles — the full
+//! 7 168-design DSE and the availability/mission Monte-Carlos — plus the
+//! heavyweight experiment generators, and writes the measurements to
+//! `BENCH_sweeps.json` at the repository root (override the path with the
+//! `BENCH_OUT` environment variable). Every parallel/serial pair is also
+//! checked for bit-identical results, so the bench doubles as an
+//! end-to-end equivalence test at the ambient thread count.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
+
+use sudc_accel::design::design_space;
+use sudc_accel::dse::{run_dse_serial, run_dse_threads};
+use sudc_accel::energy::EnergyTable;
 use sudc_bench::experiments;
+use sudc_par::json::Json;
+use sudc_reliability::availability::{NodePool, DEFAULT_MC_SEED};
+use sudc_reliability::mission::{simulate, MissionConfig, SparingPolicy};
 
-fn bench_tables(c: &mut Criterion) {
-    let mut g = c.benchmark_group("tables");
-    g.sample_size(20);
-    g.bench_function("table1_inputs", |b| b.iter(|| black_box(experiments::table1())));
-    g.bench_function("table2_hardware", |b| b.iter(|| black_box(experiments::table2())));
-    g.bench_function("table3_workloads", |b| b.iter(|| black_box(experiments::table3())));
-    g.finish();
+/// Monte-Carlo trial count for the availability benchmarks.
+const MC_TRIALS: u32 = 200_000;
+
+/// Median wall-clock milliseconds over `reps` runs.
+fn time_ms<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut samples: Vec<f64> = (0..reps.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            black_box(f());
+            start.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
 }
 
-fn bench_tco_sweeps(c: &mut Criterion) {
-    let mut g = c.benchmark_group("tco_sweeps");
-    g.sample_size(10);
-    g.bench_function("fig3_breakdown", |b| b.iter(|| black_box(experiments::fig3())));
-    g.bench_function("fig4_lifetime", |b| b.iter(|| black_box(experiments::fig4())));
-    g.bench_function("fig5_power", |b| b.iter(|| black_box(experiments::fig5())));
-    g.bench_function("fig6_mass", |b| b.iter(|| black_box(experiments::fig6())));
-    g.finish();
+/// One serial-vs-parallel pair.
+fn pair(name: &str, serial_ms: f64, parallel_ms: f64) -> Json {
+    let speedup = serial_ms / parallel_ms;
+    println!(
+        "{name:<28} serial {serial_ms:>9.1} ms   parallel {parallel_ms:>9.1} ms   speedup {speedup:>5.2}x"
+    );
+    Json::object()
+        .with("name", name)
+        .with("serial_ms", serial_ms)
+        .with("parallel_ms", parallel_ms)
+        .with("speedup", speedup)
 }
 
-fn bench_comms(c: &mut Criterion) {
-    let mut g = c.benchmark_group("comms");
-    g.sample_size(10);
-    g.bench_function("fig7_isl", |b| b.iter(|| black_box(experiments::fig7())));
-    g.bench_function("fig8_saturation", |b| b.iter(|| black_box(experiments::fig8())));
-    g.bench_function("fig10_compression", |b| b.iter(|| black_box(experiments::fig10())));
-    g.finish();
+/// One single-timing entry.
+fn single(name: &str, ms: f64) -> Json {
+    println!("{name:<28} {ms:>9.1} ms");
+    Json::object().with("name", name).with("ms", ms)
 }
 
-fn bench_architecture(c: &mut Criterion) {
-    let mut g = c.benchmark_group("architecture");
-    g.sample_size(10);
-    g.bench_function("fig9_hardware", |b| b.iter(|| black_box(experiments::fig9())));
-    g.bench_function("fig11_breakdowns", |b| b.iter(|| black_box(experiments::fig11())));
-    g.bench_function("fig15_efficiency", |b| b.iter(|| black_box(experiments::fig15())));
-    g.bench_function("fig16_priced", |b| b.iter(|| black_box(experiments::fig16())));
-    g.finish();
-}
+fn main() {
+    let threads = sudc_par::threads();
+    println!("sweep-engine benchmarks ({threads} threads)\n");
 
-fn bench_dse(c: &mut Criterion) {
-    let mut g = c.benchmark_group("dse");
-    g.sample_size(10);
-    g.bench_function("fig17_full_7168_design_sweep", |b| {
-        b.iter(|| black_box(experiments::fig17()));
+    let mut pairs: Vec<Json> = Vec::new();
+    let mut singles: Vec<Json> = Vec::new();
+
+    // Full 7,168-design DSE: parallel must match the serial oracle bit for
+    // bit, and (on >= 4 cores) beat it by >= 2x.
+    let space = design_space();
+    let table = EnergyTable::default();
+    let serial_out = run_dse_serial(&space, &table);
+    let parallel_out = run_dse_threads(threads, &space, &table);
+    assert_eq!(
+        serial_out, parallel_out,
+        "parallel DSE diverged from serial"
+    );
+    let dse_serial = time_ms(3, || run_dse_serial(&space, &table));
+    let dse_parallel = time_ms(3, || run_dse_threads(threads, &space, &table));
+    pairs.push(pair("dse_full_7168", dse_serial, dse_parallel));
+
+    // Availability Monte-Carlo (binomial node pool).
+    let pool = NodePool::new(30, 10);
+    let avail_ref = pool.simulate_availability(1.0, MC_TRIALS, DEFAULT_MC_SEED);
+    let avail_serial = time_ms(3, || {
+        sudc_par::set_threads(1);
+        let a = pool.simulate_availability(1.0, MC_TRIALS, DEFAULT_MC_SEED);
+        sudc_par::set_threads(0);
+        assert!(
+            (a - avail_ref).abs() == 0.0,
+            "MC diverged across thread counts"
+        );
+        a
     });
-    g.finish();
-}
-
-fn bench_fleet(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fleet");
-    g.sample_size(10);
-    g.bench_function("fig19_collaborative", |b| b.iter(|| black_box(experiments::fig19())));
-    g.bench_function("fig21_sensitivity", |b| b.iter(|| black_box(experiments::fig21())));
-    g.bench_function("fig22_wright", |b| b.iter(|| black_box(experiments::fig22())));
-    g.bench_function("fig23_distributed", |b| b.iter(|| black_box(experiments::fig23())));
-    g.finish();
-}
-
-fn bench_reliability(c: &mut Criterion) {
-    let mut g = c.benchmark_group("reliability");
-    g.sample_size(10);
-    g.bench_function("fig12_radiator", |b| b.iter(|| black_box(experiments::fig12())));
-    g.bench_function("fig24_availability", |b| b.iter(|| black_box(experiments::fig24())));
-    g.bench_function("fig25_capacity", |b| b.iter(|| black_box(experiments::fig25())));
-    g.bench_function("fig26_tid", |b| b.iter(|| black_box(experiments::fig26())));
-    g.bench_function("fig27_softerror", |b| b.iter(|| black_box(experiments::fig27())));
-    g.bench_function("fig28_redundancy", |b| b.iter(|| black_box(experiments::fig28())));
-    g.finish();
-}
-
-fn bench_extensions(c: &mut Criterion) {
-    let mut g = c.benchmark_group("extensions");
-    g.sample_size(10);
-    g.bench_function("extA_latency", |b| b.iter(|| black_box(experiments::ext_latency())));
-    g.bench_function("extB_sparing_monte_carlo", |b| {
-        b.iter(|| black_box(experiments::ext_sparing()));
+    let avail_parallel = time_ms(3, || {
+        pool.simulate_availability(1.0, MC_TRIALS, DEFAULT_MC_SEED)
     });
-    g.bench_function("extC_tornado", |b| b.iter(|| black_box(experiments::ext_tornado())));
-    g.bench_function("extD_ablations", |b| b.iter(|| black_box(experiments::ext_ablation())));
-    g.finish();
-}
+    pairs.push(pair(
+        "monte_carlo_availability",
+        avail_serial,
+        avail_parallel,
+    ));
 
-criterion_group!(
-    benches,
-    bench_tables,
-    bench_tco_sweeps,
-    bench_comms,
-    bench_architecture,
-    bench_dse,
-    bench_fleet,
-    bench_reliability,
-    bench_extensions
-);
-criterion_main!(benches);
+    // Mission Monte-Carlo with cold sparing.
+    let mission = MissionConfig {
+        nodes: 30,
+        required: 10,
+        duration: 1.0,
+        policy: SparingPolicy::Cold { dormant_aging: 0.1 },
+    };
+    let mission_ref = simulate(mission, MC_TRIALS, DEFAULT_MC_SEED);
+    let mission_serial = time_ms(3, || {
+        sudc_par::set_threads(1);
+        let m = simulate(mission, MC_TRIALS, DEFAULT_MC_SEED);
+        sudc_par::set_threads(0);
+        assert_eq!(m, mission_ref, "mission MC diverged across thread counts");
+        m
+    });
+    let mission_parallel = time_ms(3, || simulate(mission, MC_TRIALS, DEFAULT_MC_SEED));
+    pairs.push(pair(
+        "monte_carlo_mission",
+        mission_serial,
+        mission_parallel,
+    ));
+
+    // The heavyweight experiment generators (each regenerates one figure).
+    println!();
+    singles.push(single("fig4_lifetime", time_ms(3, experiments::fig4)));
+    singles.push(single("fig5_power", time_ms(3, experiments::fig5)));
+    singles.push(single("fig17_dse", time_ms(3, experiments::fig17)));
+    singles.push(single(
+        "fig19_collaborative",
+        time_ms(3, experiments::fig19),
+    ));
+    singles.push(single("fig24_availability", time_ms(3, experiments::fig24)));
+    singles.push(single("extB_sparing", time_ms(3, experiments::ext_sparing)));
+    singles.push(single("extC_tornado", time_ms(3, experiments::ext_tornado)));
+
+    let report = Json::object()
+        .with("threads", threads)
+        .with("mc_trials", MC_TRIALS)
+        .with("sweeps", pairs)
+        .with("experiments", singles);
+    let out = std::env::var("BENCH_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sweeps.json").to_string()
+    });
+    std::fs::write(&out, report.to_string_pretty() + "\n")
+        .unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    println!("\nwrote {out}");
+}

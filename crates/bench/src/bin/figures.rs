@@ -2,12 +2,17 @@
 //!
 //! ```text
 //! figures              # list available experiments
-//! figures all          # run everything
+//! figures all          # run everything (experiments run concurrently)
 //! figures fig5 fig17   # run specific experiments
+//! figures --jobs 4 all # cap the executor at 4 threads
 //! ```
+//!
+//! Reports always print in experiment order, whatever the thread count;
+//! per-experiment wall-clock timings go to stderr.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Instant;
 
 use sudc_bench::{all_experiments, run_experiment};
 
@@ -25,15 +30,38 @@ fn main() -> ExitCode {
         args.remove(pos);
     }
 
+    // Optional: --jobs <n> overrides the executor's thread count (also
+    // settable via the SUDC_THREADS environment variable).
+    if let Some(pos) = args.iter().position(|a| a == "--jobs") {
+        if pos + 1 >= args.len() {
+            eprintln!("--jobs requires a thread count");
+            return ExitCode::FAILURE;
+        }
+        let n = args.remove(pos + 1);
+        args.remove(pos);
+        match n.parse::<usize>() {
+            Ok(n) if n > 0 => sudc_par::set_threads(n),
+            _ => {
+                eprintln!("--jobs needs a positive integer, got {n}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
     if args.is_empty() {
-        eprintln!("usage: figures [--out DIR] <experiment id>... | all\n\navailable experiments:");
+        eprintln!(
+            "usage: figures [--out DIR] [--jobs N] <experiment id>... | all\n\navailable experiments:"
+        );
         for (id, desc) in all_experiments() {
             eprintln!("  {id:8} {desc}");
         }
         return ExitCode::FAILURE;
     }
     let ids: Vec<String> = if args.iter().any(|a| a == "all") {
-        all_experiments().iter().map(|(id, _)| (*id).to_string()).collect()
+        all_experiments()
+            .iter()
+            .map(|(id, _)| (*id).to_string())
+            .collect()
     } else {
         args
     };
@@ -43,11 +71,23 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
+
+    // Run the experiments concurrently on the executor; collect (report,
+    // elapsed) per id, then print sequentially in the order requested.
+    let start = Instant::now();
+    let results: Vec<(Option<String>, f64)> = sudc_par::par_map(&ids, |_, id| {
+        let t = Instant::now();
+        let report = run_experiment(id);
+        (report, t.elapsed().as_secs_f64() * 1e3)
+    });
+    let total_ms = start.elapsed().as_secs_f64() * 1e3;
+
     let mut failed = false;
-    for id in ids {
-        match run_experiment(&id) {
+    for (id, (report, elapsed_ms)) in ids.iter().zip(results) {
+        match report {
             Some(report) => {
                 println!("{report}");
+                eprintln!("[{id}: {elapsed_ms:.0} ms]");
                 if let Some(dir) = &out_dir {
                     let path = dir.join(format!("{id}.txt"));
                     if let Err(e) = std::fs::write(&path, &report) {
@@ -62,6 +102,11 @@ fn main() -> ExitCode {
             }
         }
     }
+    eprintln!(
+        "[{} experiments in {total_ms:.0} ms on {} threads]",
+        ids.len(),
+        sudc_par::threads()
+    );
     if failed {
         ExitCode::FAILURE
     } else {

@@ -42,7 +42,12 @@ pub fn fig9() -> String {
     format!(
         "Fig. 9: TCO vs architecture (4 kW; relative to RTX 3090)\n{}",
         table(
-            &["hardware", "relative TCO", "payload TFLOPS", "rel. FLOPS/$TCO"],
+            &[
+                "hardware",
+                "relative TCO",
+                "payload TFLOPS",
+                "rel. FLOPS/$TCO"
+            ],
             &rows
         )
     )
@@ -82,9 +87,8 @@ pub fn fig11() -> String {
 
 fn efficiency_figure(title: &str, pricing: PriceScaling) -> String {
     let scalars = [1.0, 2.0, 5.0, 10.0, 50.0, 100.0, 200.0, 1000.0];
-    let series =
-        architecture::efficiency_scaling(Watts::from_kilowatts(4.0), &scalars, pricing)
-            .expect("4 kW design is valid");
+    let series = architecture::efficiency_scaling(Watts::from_kilowatts(4.0), &scalars, pricing)
+        .expect("4 kW design is valid");
     let mut headers = vec!["scalar".to_string()];
     for s in &series {
         headers.push(s.label.clone());

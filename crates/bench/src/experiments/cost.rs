@@ -14,8 +14,8 @@ fn kw(x: f64) -> Watts {
 #[must_use]
 pub fn fig4() -> String {
     let lifetimes: Vec<Years> = (1..=10).map(|y| Years::new(f64::from(y))).collect();
-    let series = sweeps::tco_vs_lifetime(&[kw(0.5), kw(4.0), kw(10.0)], &lifetimes)
-        .expect("sweep is valid");
+    let series =
+        sweeps::tco_vs_lifetime(&[kw(0.5), kw(4.0), kw(10.0)], &lifetimes).expect("sweep is valid");
     let rows: Vec<Vec<String>> = lifetimes
         .iter()
         .enumerate()
@@ -104,7 +104,13 @@ mod tests {
     #[test]
     fn fig5_total_row_is_last() {
         let f = fig5();
-        assert!(f.trim_end().lines().last().unwrap().trim_start().starts_with("TOTAL"));
+        assert!(f
+            .trim_end()
+            .lines()
+            .last()
+            .unwrap()
+            .trim_start()
+            .starts_with("TOTAL"));
     }
 
     #[test]

@@ -15,12 +15,18 @@ pub fn fig17() -> String {
         .map(|n| {
             vec![
                 n.network.to_string(),
-                format!("{:.1}", n.improvement(SystemArchitecture::GlobalAccelerator)),
+                format!(
+                    "{:.1}",
+                    n.improvement(SystemArchitecture::GlobalAccelerator)
+                ),
                 format!(
                     "{:.1}",
                     n.improvement(SystemArchitecture::PerNetworkAccelerator)
                 ),
-                format!("{:.1}", n.improvement(SystemArchitecture::PerLayerAccelerator)),
+                format!(
+                    "{:.1}",
+                    n.improvement(SystemArchitecture::PerLayerAccelerator)
+                ),
             ]
         })
         .collect();

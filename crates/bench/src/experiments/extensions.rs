@@ -2,13 +2,12 @@
 //! motivation quantified, cold-vs-hot sparing, cost-driver sensitivity,
 //! and design-choice ablations.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use sudc_accel::dse::{run_dse, SystemArchitecture};
 use sudc_accel::energy::EnergyTable;
 use sudc_compute::precision::Precision;
 use sudc_core::analysis::{ablation, latency};
 use sudc_core::scenario::Scenario;
+use sudc_reliability::availability::DEFAULT_MC_SEED;
 use sudc_reliability::mission::{simulate, MissionConfig, SparingPolicy};
 use sudc_sscm::sensitivity::tornado;
 use sudc_sscm::subsystems::SubsystemCers;
@@ -29,8 +28,7 @@ pub fn ext_latency() -> String {
                     format!("{:.1} h", l.value() / 3600.0)
                 }),
                 format!("{:.1} min", cmp.in_space.value() / 60.0),
-                cmp.speedup()
-                    .map_or("inf".into(), |s| format!("{s:.0}x")),
+                cmp.speedup().map_or("inf".into(), |s| format!("{s:.0}x")),
             ]
         })
         .collect();
@@ -43,12 +41,14 @@ pub fn ext_latency() -> String {
 /// Ext. B: cold vs. hot sparing (Monte-Carlo mission simulation).
 #[must_use]
 pub fn ext_sparing() -> String {
-    let mut rng = StdRng::seed_from_u64(11);
     let mut rows = Vec::new();
     for n in [15u32, 20, 30] {
         for (name, policy) in [
             ("hot", SparingPolicy::Hot),
-            ("cold (10% aging)", SparingPolicy::Cold { dormant_aging: 0.1 }),
+            (
+                "cold (10% aging)",
+                SparingPolicy::Cold { dormant_aging: 0.1 },
+            ),
         ] {
             let outcome = simulate(
                 MissionConfig {
@@ -58,7 +58,7 @@ pub fn ext_sparing() -> String {
                     policy,
                 },
                 20_000,
-                &mut rng,
+                DEFAULT_MC_SEED,
             );
             rows.push(vec![
                 format!("{n}"),
@@ -71,7 +71,12 @@ pub fn ext_sparing() -> String {
     format!(
         "Ext. B: sparing policy vs availability at t = 1 MTTF (10 powered nodes)\n{}",
         table(
-            &["nodes", "policy", "P(full capability)", "mean full-capability time"],
+            &[
+                "nodes",
+                "policy",
+                "P(full capability)",
+                "mean full-capability time"
+            ],
             &rows
         )
     )
@@ -167,7 +172,10 @@ pub fn ext_precision() -> String {
             let outcome = run_dse(&space, &table);
             vec![
                 precision.to_string(),
-                format!("{:.1}", outcome.mean_improvement(SystemArchitecture::GlobalAccelerator)),
+                format!(
+                    "{:.1}",
+                    outcome.mean_improvement(SystemArchitecture::GlobalAccelerator)
+                ),
                 format!(
                     "{:.1}",
                     outcome.mean_improvement(SystemArchitecture::PerLayerAccelerator)
@@ -181,7 +189,12 @@ pub fn ext_precision() -> String {
 {}",
         space.len(),
         table(
-            &["precision", "global gain", "per-layer gain", "accuracy retention"],
+            &[
+                "precision",
+                "global gain",
+                "per-layer gain",
+                "accuracy retention"
+            ],
             &rows
         )
     )

@@ -10,8 +10,8 @@ use crate::format::{ratio, table};
 #[must_use]
 pub fn fig19() -> String {
     let rates = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 2.0 / 3.0, 0.8, 0.9];
-    let curve = fleet::collaborative_tco(Watts::from_kilowatts(4.0), &rates)
-        .expect("4 kW design is valid");
+    let curve =
+        fleet::collaborative_tco(Watts::from_kilowatts(4.0), &rates).expect("4 kW design is valid");
     let rows: Vec<Vec<String>> = curve
         .iter()
         .map(|&(f, tco)| vec![format!("{f:.2}"), ratio(tco)])
@@ -56,7 +56,13 @@ pub fn fig21() -> String {
     format!(
         "Fig. 21: collaborative constellation benefit (cloud filtering, 4 kW)\n{}",
         table(
-            &["architecture", "efficiency", "TCO (f=0)", "TCO (f=2/3)", "improvement"],
+            &[
+                "architecture",
+                "efficiency",
+                "TCO (f=0)",
+                "TCO (f=2/3)",
+                "improvement"
+            ],
             &rows
         )
     )
@@ -98,8 +104,8 @@ pub fn fig22() -> String {
 pub fn fig23() -> String {
     let ks = [1, 2, 3, 4, 6, 8, 12, 16];
     let ratios = [0.65, 0.70, 0.75, 0.80, 0.85];
-    let series = fleet::distributed_tco(Watts::from_kilowatts(32.0), &ks, &ratios)
-        .expect("sweep is valid");
+    let series =
+        fleet::distributed_tco(Watts::from_kilowatts(32.0), &ks, &ratios).expect("sweep is valid");
     let mut headers = vec!["# SuDCs".to_string()];
     for s in &series {
         headers.push(format!("b={}", s.progress_ratio));

@@ -29,7 +29,10 @@ pub fn all_experiments() -> Vec<(&'static str, &'static str)> {
         ("table1", "SSCM-SuDC input parameter derivations"),
         ("table2", "GPU and rad-hard hardware catalog"),
         ("table3", "EO application performance on RTX 3090"),
-        ("fig3", "4 kW SuDC subsystem cost breakdown (two accountings)"),
+        (
+            "fig3",
+            "4 kW SuDC subsystem cost breakdown (two accountings)",
+        ),
         ("fig4", "TCO vs lifetime for 0.5/4/10 kW SuDCs"),
         ("fig5", "TCO vs compute power (subsystem breakdown)"),
         ("fig6", "Satellite mass vs compute power"),
@@ -39,11 +42,17 @@ pub fn all_experiments() -> Vec<(&'static str, &'static str)> {
         ("fig10", "TCO vs energy efficiency under compression"),
         ("fig11", "Satellite vs terrestrial TCO category breakdown"),
         ("fig12", "Radiator area vs temperature"),
-        ("fig15", "TCO vs efficiency scalar (hardware price constant)"),
+        (
+            "fig15",
+            "TCO vs efficiency scalar (hardware price constant)",
+        ),
         ("fig16", "TCO vs efficiency scalar (log hardware pricing)"),
         ("fig17", "Accelerator DSE energy-efficiency improvements"),
         ("fig19", "TCO vs edge filtering rate"),
-        ("fig21", "Collaborative constellation benefit by architecture"),
+        (
+            "fig21",
+            "Collaborative constellation benefit by architecture",
+        ),
         ("fig22", "Wright's-law marginal satellite cost"),
         ("fig23", "Distributed vs monolithic fleet TCO"),
         ("fig24", "Availability vs time under overprovisioning"),

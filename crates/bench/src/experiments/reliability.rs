@@ -105,7 +105,12 @@ pub fn fig26() -> String {
     format!(
         "Fig. 26: total ionizing dose before failure vs technology node\n{}",
         table(
-            &["processor", "node (nm)", "failure (krad)", "tested to (krad)"],
+            &[
+                "processor",
+                "node (nm)",
+                "failure (krad)",
+                "tested to (krad)"
+            ],
             &rows
         )
     )
@@ -157,11 +162,7 @@ pub fn fig28() -> String {
             row
         })
         .collect();
-    let scheme_names: Vec<String> = groups[0]
-        .rows
-        .iter()
-        .map(|(s, _)| s.to_string())
-        .collect();
+    let scheme_names: Vec<String> = groups[0].rows.iter().map(|(s, _)| s.to_string()).collect();
     let mut headers = vec!["equivalent".to_string()];
     headers.extend(scheme_names);
     let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
@@ -178,7 +179,10 @@ mod tests {
     #[test]
     fn fig12_reports_four_square_meters_for_4kw_at_45c() {
         let f = fig12();
-        let line45 = f.lines().find(|l| l.trim_start().starts_with("45")).unwrap();
+        let line45 = f
+            .lines()
+            .find(|l| l.trim_start().starts_with("45"))
+            .unwrap();
         assert!(line45.contains("4.0"), "{line45}");
     }
 

@@ -85,7 +85,8 @@ pub fn table2() -> String {
             vec![
                 h.name.to_string(),
                 format!("{}", h.tid_tolerance.value()),
-                h.price.map_or("N/A".into(), |p| format!("{:.0}", p.value())),
+                h.price
+                    .map_or("N/A".into(), |p| format!("{:.0}", p.value())),
                 h.tdp.map_or("N/A".into(), |t| format!("{:.0}", t.value())),
                 format!("{}", h.fp32.value()),
                 h.tf32.map_or("N/A".into(), |t| format!("{}", t.value())),
@@ -130,7 +131,14 @@ pub fn table3() -> String {
     format!(
         "Table III: application performance on RTX 3090 (64-satellite constellation)\n{}",
         table(
-            &["App Name", "P(W)", "Util(%)", "Infer time (s)", "kpixel/J", "# SuDC"],
+            &[
+                "App Name",
+                "P(W)",
+                "Util(%)",
+                "Infer time (s)",
+                "kpixel/J",
+                "# SuDC"
+            ],
             &rows
         )
     )
@@ -143,7 +151,12 @@ mod tests {
     #[test]
     fn table1_reports_all_drivers() {
         let t = table1();
-        for key in ["BOL power", "Fuel mass", "C&DH rate driver", "Compute hw cost"] {
+        for key in [
+            "BOL power",
+            "Fuel mass",
+            "C&DH rate driver",
+            "Compute hw cost",
+        ] {
             assert!(t.contains(key), "missing {key}");
         }
     }

@@ -4,7 +4,6 @@
 //! mass and power of the Command and Data Handling (C&DH) subsystem", and
 //! the C&DH cost driver uses the RF-downscaled data rate.
 
-use serde::{Deserialize, Serialize};
 use sudc_units::{GigabitsPerSecond, Kilograms, Watts};
 
 use crate::fso::FsoLink;
@@ -24,7 +23,7 @@ const MASS_PER_RF_GBPS_KG: f64 = 6.0;
 const POWER_PER_RF_GBPS_W: f64 = 20.0;
 
 /// A sized C&DH subsystem, including the attached FSO terminal.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CdhDesign {
     /// Provisioned ISL rate.
     pub isl_rate: GigabitsPerSecond,

@@ -8,11 +8,10 @@
 //! - **lossless JPEG 2000** (5 %);
 //! - **high-PSNR quasi-lossless neural compression** (8 %).
 
-use serde::{Deserialize, Serialize};
 use sudc_units::GigabitsPerSecond;
 
 /// Compression choices for EO imagery on the EO-satellite → SµDC path.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Compression {
     /// No compression: raw sensor data crosses the ISL.
     #[default]

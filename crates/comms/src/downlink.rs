@@ -7,11 +7,10 @@
 //! imagery — this module quantifies how much downlink a SµDC still needs,
 //! which is the bandwidth argument for in-space processing.
 
-use serde::{Deserialize, Serialize};
 use sudc_units::{GigabitsPerSecond, MegapixelsPerSecond};
 
 /// The downlink product class an application emits.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum InsightKind {
     /// Scalar or per-image labels (classification, regression): bytes per
     /// image.
@@ -39,7 +38,7 @@ impl InsightKind {
 }
 
 /// Downlink requirement of an in-space processing pipeline.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct InsightDownlink {
     /// Product class.
     pub kind: InsightKind,

@@ -4,11 +4,10 @@
 //! commercial systems (Mynaric Condor-class LEO–LEO terminals and LEO–GEO
 //! relay terminals), per the paper's Table I derivations.
 
-use serde::{Deserialize, Serialize};
 use sudc_units::{GigabitsPerSecond, Kilograms, Watts};
 
 /// Link topology class, which sets the terminal's size/power envelope.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LinkClass {
     /// LEO-to-LEO crosslink (short range, high rate).
     LeoToLeo,
@@ -17,7 +16,7 @@ pub enum LinkClass {
 }
 
 /// A cataloged commercial optical terminal.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FsoTerminal {
     /// Product-style name.
     pub name: &'static str,
@@ -83,7 +82,7 @@ const MASS_PER_GBPS_KG: f64 = 0.09;
 /// let link = FsoLink::for_rate(GigabitsPerSecond::new(25.0));
 /// assert!((link.power.value() - 125.0).abs() < 1e-9);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FsoLink {
     /// Provisioned capacity.
     pub data_rate: GigabitsPerSecond,

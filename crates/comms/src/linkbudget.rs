@@ -6,7 +6,6 @@
 //! LEO–LEO vs. LEO–GEO trades (and future Space-BACN-class terminals) can
 //! be derived rather than cataloged.
 
-use serde::{Deserialize, Serialize};
 use sudc_units::{GigabitsPerSecond, Meters, Watts};
 
 /// Planck's constant, J·s.
@@ -15,7 +14,7 @@ const PLANCK: f64 = 6.626_070_15e-34;
 const C: f64 = 2.997_924_58e8;
 
 /// An optical link design.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OpticalLink {
     /// Optical transmit power.
     pub transmit_power: Watts,

@@ -7,7 +7,6 @@
 //! — which is why the paper's *most lightweight* (highest kpixel/J)
 //! applications set the worst-case ISL requirement.
 
-use serde::{Deserialize, Serialize};
 use sudc_units::{GigabitsPerSecond, KilopixelsPerJoule, Watts};
 
 use crate::compression::Compression;
@@ -62,7 +61,7 @@ pub fn saturation_rate(
 }
 
 /// An ISL provisioning decision: saturation requirement plus compression.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct IslRequirement {
     /// Raw saturation rate before compression.
     pub raw_rate: GigabitsPerSecond,
@@ -111,7 +110,10 @@ mod tests {
             DEFAULT_BITS_PER_PIXEL,
         );
         assert!(rate.value() < 25.0, "got {rate}");
-        assert!(rate.value() > 10.0, "should still be >10 Gbit/s, got {rate}");
+        assert!(
+            rate.value() > 10.0,
+            "should still be >10 Gbit/s, got {rate}"
+        );
     }
 
     #[test]

@@ -7,7 +7,6 @@
 //! standard analytic model: per-image energy falls with batch size as fixed
 //! launch/idle overheads amortize, approaching an asymptote.
 
-use serde::{Deserialize, Serialize};
 use sudc_units::{Joules, Seconds, Watts};
 
 use crate::workloads::Workload;
@@ -16,7 +15,7 @@ use crate::workloads::Workload;
 const IDLE_POWER_W: f64 = 19.0;
 
 /// An analytic per-application GPU energy model fitted to a Table III row.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GpuEnergyModel {
     /// Asymptotic (large-batch) energy per image.
     pub asymptotic_energy: Joules,

@@ -4,11 +4,10 @@
 //! hardened processors for comparison. TID data for the rad-hard parts is
 //! from NASA's COTS GPU qualification report cited by the paper.
 
-use serde::{Deserialize, Serialize};
 use sudc_units::{KradSi, Teraflops, Usd, Watts};
 
 /// Hardware family, which determines the role a part can play in a SµDC.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum HardwareKind {
     /// Commodity consumer GPU (e.g. RTX 3090).
     CommodityGpu,
@@ -21,7 +20,7 @@ pub enum HardwareKind {
 }
 
 /// One catalog entry: a processing architecture a SµDC could fly.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HardwareSpec {
     /// Marketing name.
     pub name: &'static str,

@@ -11,10 +11,8 @@
 //! into strided convolutions, both standard simplifications for analytical
 //! dataflow energy models.
 
-use serde::{Deserialize, Serialize};
-
 /// Identifies one of the ten modeled networks.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum NetworkId {
     /// Inception-v3 (air-pollution regression).
     InceptionV3,
@@ -99,7 +97,7 @@ impl core::fmt::Display for NetworkId {
 }
 
 /// The operator class of a layer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LayerKind {
     /// Standard convolution.
     Conv,
@@ -110,7 +108,7 @@ pub enum LayerKind {
 }
 
 /// One layer of a network, described by shape.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Layer {
     /// Operator class.
     pub kind: LayerKind,
@@ -222,7 +220,7 @@ impl Layer {
 }
 
 /// A complete network description.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Network {
     /// Which network this is.
     pub id: NetworkId,
@@ -419,7 +417,7 @@ fn deeplab_v3() -> Network {
     let mut net = resnet_50();
     let mut layers = net.layers;
     layers.pop(); // drop the classifier head
-    // ASPP: four parallel 3x3 atrous convs + 1x1, flattened sequentially.
+                  // ASPP: four parallel 3x3 atrous convs + 1x1, flattened sequentially.
     for _ in 0..4 {
         layers.push(Layer::conv(32, 32, 2048, 256, 3, 1));
     }

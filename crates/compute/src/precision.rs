@@ -6,10 +6,8 @@
 //! so payload designers can trade arithmetic energy against accuracy
 //! retention.
 
-use serde::{Deserialize, Serialize};
-
 /// A numeric precision for inference arithmetic.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Precision {
     /// IEEE single precision (the RTX 3090 baseline measurements).
     Fp32,

@@ -9,14 +9,13 @@
 //! energy-minimizing batch size to be reached. In this scenario, a
 //! suboptimal batch size may be used."
 
-use serde::Serialize;
 use sudc_units::{Joules, Seconds};
 
 use crate::gpu::GpuEnergyModel;
 use crate::workloads::Workload;
 
 /// Batch-dispatch policy.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BatchPolicy {
     /// Target batch size.
     pub target_batch: u32,
@@ -46,7 +45,7 @@ impl BatchPolicy {
 }
 
 /// Aggregate statistics from one simulation run.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct PipelineStats {
     /// Images processed.
     pub images: u64,
@@ -190,7 +189,10 @@ mod tests {
         let policy = BatchPolicy::energy_minimizing(&model, Seconds::new(1800.0));
         let stats = run(policy);
         let minutes = stats.mean_latency.value() / 60.0;
-        assert!(minutes > 1.0 && minutes < 30.0, "mean latency {minutes} min");
+        assert!(
+            minutes > 1.0 && minutes < 30.0,
+            "mean latency {minutes} min"
+        );
     }
 
     #[test]

@@ -5,7 +5,6 @@
 //! exceeding 35 W/kg", so compute hardware is only a few percent of mass
 //! (Fig. 6) and its monetary cost is under 1 % of TCO (Fig. 5).
 
-use serde::Serialize;
 use sudc_units::{Kilograms, Usd, Watts, WattsPerKilogram};
 
 use crate::hardware::HardwareSpec;
@@ -19,7 +18,7 @@ pub const SERVER_SPECIFIC_POWER: WattsPerKilogram = WattsPerKilogram::new(35.0);
 const PACKAGING_COST_FACTOR: f64 = 1.8;
 
 /// A compute payload: `count` units of one architecture packaged as servers.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ComputePayload {
     /// The processing architecture flown.
     pub hardware: HardwareSpec,
@@ -150,7 +149,10 @@ mod tests {
         let with = p.price_with_spares(11);
         assert!((with.value() / p.price().value() - 2.0).abs() < 1e-9);
         assert!((p.mass_with_spares(11).value() / p.mass().value() - 2.0).abs() < 1e-9);
-        assert_eq!(p.power(), ComputePayload::fill(rtx_3090(), p.budget).power());
+        assert_eq!(
+            p.power(),
+            ComputePayload::fill(rtx_3090(), p.budget).power()
+        );
     }
 
     #[test]

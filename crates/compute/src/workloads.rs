@@ -5,13 +5,12 @@
 //! efficiency (kpixel/J) that drives both ISL sizing (Fig. 8) and SµDC
 //! compute-power sizing.
 
-use serde::{Deserialize, Serialize};
 use sudc_units::{KilopixelsPerJoule, Seconds, Watts};
 
 use crate::networks::NetworkId;
 
 /// Image-processing task class (Fig. 13's middle column).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Task {
     /// Assign a label to an entire image.
     ImageClassification,
@@ -26,7 +25,7 @@ pub enum Task {
 }
 
 /// One Table III row: an EO application profiled on the RTX 3090 baseline.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Workload {
     /// Application name.
     pub name: &'static str,

@@ -5,11 +5,10 @@
 //! constellation reduces SµDC ISL and compute power proportionally". At a
 //! filtering rate of 0.5, a 4 kW SµDC shrinks to 2 kW (Fig. 19).
 
-use serde::{Deserialize, Serialize};
 use sudc_units::{GigabitsPerSecond, Watts};
 
 /// An edge-filtering configuration on the EO satellites.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EdgeFiltering {
     /// Fraction of data discarded at the edge, in [0, 1).
     pub filtering_rate: f64,
@@ -108,10 +107,7 @@ mod tests {
     #[test]
     fn no_filtering_is_identity() {
         let f = EdgeFiltering::none();
-        assert_eq!(
-            f.reduced_compute(Watts::new(123.0)),
-            Watts::new(123.0)
-        );
+        assert_eq!(f.reduced_compute(Watts::new(123.0)), Watts::new(123.0));
     }
 
     #[test]

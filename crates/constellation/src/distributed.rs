@@ -6,7 +6,6 @@
 //! unit, while each unit is individually cheaper (sublinear CERs) — so
 //! moderate distribution wins for all but pessimistic progress ratios.
 
-use serde::{Deserialize, Serialize};
 use sudc_sscm::LearningCurve;
 use sudc_units::Usd;
 
@@ -32,7 +31,7 @@ pub fn fleet_cost(
 }
 
 /// A point on the Fig. 23 curve.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FleetPoint {
     /// Number of SµDCs sharing the target power.
     pub satellites: u32,

@@ -1,6 +1,5 @@
 //! Earth-observation constellation data production and compute demand.
 
-use serde::{Deserialize, Serialize};
 use sudc_compute::workloads::Workload;
 use sudc_orbital::imaging::Imager;
 use sudc_orbital::CircularOrbit;
@@ -11,7 +10,7 @@ use sudc_units::{GigabitsPerSecond, MegapixelsPerSecond, Watts};
 pub const DEFAULT_IMAGING_DUTY_CYCLE: f64 = 0.6;
 
 /// A constellation of identical EO satellites feeding SµDCs.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EoConstellation {
     /// Number of EO satellites.
     pub satellites: u32,
@@ -32,7 +31,10 @@ impl EoConstellation {
     /// Panics if `satellites` is zero.
     #[must_use]
     pub fn reference(satellites: u32) -> Self {
-        assert!(satellites > 0, "a constellation needs at least one satellite");
+        assert!(
+            satellites > 0,
+            "a constellation needs at least one satellite"
+        );
         Self {
             satellites,
             imager: Imager::reference(),

@@ -5,14 +5,13 @@
 //! compute demands onto a fleet of fixed-size SµDCs with first-fit-
 //! decreasing bin packing, giving the fleet size for *concurrent* service.
 
-use serde::Serialize;
 use sudc_compute::workloads::Workload;
 use sudc_units::Watts;
 
 use crate::eo::EoConstellation;
 
 /// One application's placement in the packed fleet.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Placement {
     /// Application name.
     pub workload: &'static str,
@@ -23,7 +22,7 @@ pub struct Placement {
 }
 
 /// The result of packing a workload suite onto a fleet.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct FleetPacking {
     /// SµDC capacity used for packing.
     pub sudc_power: Watts,

@@ -8,7 +8,6 @@
 //! - FSO power-efficiency improvements (Space-BACN-class terminals),
 //! - solar-cell technology.
 
-use serde::Serialize;
 use sudc_comms::cdh::CdhDesign;
 use sudc_orbital::launch::LaunchPricing;
 use sudc_power::{PowerDesign, SolarCellTech};
@@ -18,7 +17,7 @@ use sudc_units::{Kelvin, Usd, Watts};
 use crate::design::{DesignError, SuDcDesign};
 
 /// One radiator-setpoint ablation point.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct SetpointPoint {
     /// Radiator temperature.
     pub temperature: Kelvin,
@@ -119,7 +118,12 @@ pub fn solar_tech_ablation(eol_load: Watts) -> Vec<(&'static str, f64)> {
     ]
     .into_iter()
     .map(|(name, tech)| {
-        let design = PowerDesign::size(eol_load, CircularOrbit::reference_leo(), Years::new(5.0), tech);
+        let design = PowerDesign::size(
+            eol_load,
+            CircularOrbit::reference_leo(),
+            Years::new(5.0),
+            tech,
+        );
         (name, design.mass().value())
     })
     .collect()
@@ -182,7 +186,10 @@ mod tests {
         for pair in curve.windows(2) {
             assert!(pair[1].1 <= pair[0].1);
         }
-        assert!(curve.last().unwrap().1 < 0.99, "10x FSO must save something");
+        assert!(
+            curve.last().unwrap().1 < 0.99,
+            "10x FSO must save something"
+        );
     }
 
     #[test]

@@ -1,7 +1,6 @@
 //! Architecture analyses: cost breakdowns (Figs. 3, 11), processing
 //! hardware choice (Fig. 9), and energy-efficiency scaling (Figs. 15, 16).
 
-use serde::Serialize;
 use sudc_compute::hardware::{a100, h100, rtx_3090, HardwareSpec};
 use sudc_sscm::subsystems::Subsystem;
 use sudc_terrestrial::{PriceScaling, TerrestrialModel};
@@ -62,7 +61,7 @@ pub fn seer_style_breakdown(compute_power: Watts) -> Result<Vec<(TcoLine, f64)>,
 
 /// One Fig. 9 row: TCO and performance-per-TCO-dollar for a hardware
 /// choice at fixed compute power.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ArchitectureRow {
     /// Hardware evaluated.
     pub hardware: HardwareSpec,
@@ -95,8 +94,7 @@ pub fn tco_vs_architecture(compute_power: Watts) -> Result<Vec<ArchitectureRow>,
             .tco()?
             .total();
         let tdp = part.tdp.expect("Fig. 9 hardware has TDP").value();
-        let payload_tflops =
-            part.peak_flops().value() * (compute_power.value() / tdp);
+        let payload_tflops = part.peak_flops().value() * (compute_power.value() / tdp);
         let flops_per_dollar = payload_tflops / tco.value();
         let (base_tco, base_fpd) = *baseline.get_or_insert((tco.value(), flops_per_dollar));
         rows.push(ArchitectureRow {
@@ -110,7 +108,7 @@ pub fn tco_vs_architecture(compute_power: Watts) -> Result<Vec<ArchitectureRow>,
 }
 
 /// One Fig. 15/16 series.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct EfficiencySeries {
     /// Series label ("In-Space" or a terrestrial model name).
     pub label: String,
@@ -137,7 +135,12 @@ pub fn efficiency_scaling(
         label: "In-Space".to_string(),
         points: scalars
             .iter()
-            .map(|&s| Ok((s, in_space_tco(baseline_power, s, raw_isl, pricing)? / baseline)))
+            .map(|&s| {
+                Ok((
+                    s,
+                    in_space_tco(baseline_power, s, raw_isl, pricing)? / baseline,
+                ))
+            })
             .collect::<Result<Vec<_>, DesignError>>()?,
     }];
     for model in TerrestrialModel::scaling_variants() {
@@ -170,7 +173,7 @@ fn in_space_tco(
 }
 
 /// One Fig. 11 column: a datacenter model's category shares.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct BreakdownColumn {
     /// Model name.
     pub label: String,
@@ -263,7 +266,8 @@ mod tests {
                 .filter(|(l, _)| {
                     matches!(
                         l,
-                        TcoLine::Satellite(Subsystem::Power) | TcoLine::Satellite(Subsystem::Thermal)
+                        TcoLine::Satellite(Subsystem::Power)
+                            | TcoLine::Satellite(Subsystem::Thermal)
                     )
                 })
                 .map(|(_, s)| s)
@@ -366,9 +370,8 @@ mod tests {
         // Paper Fig. 11: terrestrial TCO is dominated by servers, SµDC TCO
         // by power.
         let cols = breakdown_comparison(Watts::from_kilowatts(4.0)).unwrap();
-        let share = |col: &BreakdownColumn, cat: &str| {
-            col.shares.iter().find(|(c, _)| c == cat).unwrap().1
-        };
+        let share =
+            |col: &BreakdownColumn, cat: &str| col.shares.iter().find(|(c, _)| c == cat).unwrap().1;
         let sudc = &cols[0];
         assert!(share(sudc, "Power") > share(sudc, "Servers") * 10.0);
         for terrestrial in &cols[2..] {

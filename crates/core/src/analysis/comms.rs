@@ -1,7 +1,6 @@
 //! Communication analyses: ISL cost sensitivity (Fig. 7), saturation
 //! requirements (Fig. 8), and compression impact (Fig. 10).
 
-use serde::Serialize;
 use sudc_comms::compression::Compression;
 use sudc_comms::requirements::{saturation_rate, DEFAULT_BITS_PER_PIXEL};
 use sudc_compute::workloads::{self, Workload};
@@ -41,7 +40,7 @@ pub fn tco_vs_isl(
 
 /// One Fig. 8 row: the ISL rate that saturates each power budget for one
 /// application.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct SaturationRow {
     /// Application name.
     pub workload: &'static str,
@@ -84,7 +83,7 @@ pub fn typical_isl(compute_power: Watts) -> GigabitsPerSecond {
 
 /// One Fig. 10 series: TCO vs. compute-energy-efficiency scalar for one
 /// compression algorithm, relative to the uncompressed, scalar-1 design.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct CompressionSeries {
     /// Compression algorithm.
     pub compression: Compression,
@@ -170,8 +169,10 @@ mod tests {
 
     #[test]
     fn tco_increases_monotonically_with_isl() {
-        let rates: Vec<GigabitsPerSecond> =
-            [0.0, 10.0, 25.0, 50.0, 100.0].iter().map(|&r| GigabitsPerSecond::new(r)).collect();
+        let rates: Vec<GigabitsPerSecond> = [0.0, 10.0, 25.0, 50.0, 100.0]
+            .iter()
+            .map(|&r| GigabitsPerSecond::new(r))
+            .collect();
         let curve = tco_vs_isl(Watts::from_kilowatts(4.0), &rates).unwrap();
         for pair in curve.windows(2) {
             assert!(pair[1].1 >= pair[0].1);
@@ -183,7 +184,11 @@ mod tests {
         let table = isl_saturation_table(&[Watts::new(500.0), Watts::from_kilowatts(10.0)]);
         assert_eq!(table.len(), 10);
         for row in &table {
-            assert!(row.requirements[1].1 > row.requirements[0].1, "{}", row.workload);
+            assert!(
+                row.requirements[1].1 > row.requirements[0].1,
+                "{}",
+                row.workload
+            );
         }
     }
 

@@ -1,7 +1,6 @@
 //! Constellation-architecture analyses: collaborative compute (Figs. 19,
 //! 21) and distributed vs. monolithic fleets (Figs. 22, 23).
 
-use serde::Serialize;
 use sudc_constellation::distributed::{fleet_cost, optimal_fleet, FleetPoint};
 use sudc_constellation::EdgeFiltering;
 use sudc_sscm::LearningCurve;
@@ -40,7 +39,7 @@ pub fn collaborative_tco(
 
 /// One Fig. 21 row: collaborative-constellation benefit for one payload
 /// architecture.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct CollaborativeRow {
     /// Architecture label.
     pub architecture: String,
@@ -102,7 +101,7 @@ pub fn collaborative_sensitivity(
 }
 
 /// One Fig. 22 series: marginal satellite cost vs. cumulative units.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct MarginalCostSeries {
     /// SµDC size.
     pub power: Watts,
@@ -142,7 +141,7 @@ pub fn marginal_cost_curve(
 }
 
 /// One Fig. 23 series: fleet TCO vs. fleet size at one progress ratio.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct DistributedSeries {
     /// Wright's-law progress ratio.
     pub progress_ratio: f64,
@@ -179,7 +178,10 @@ pub fn distributed_tco(
             for &k in fleet_sizes {
                 assert!(k > 0, "fleet size must be positive");
                 let per_sat = target_power / f64::from(k);
-                let report = SuDcDesign::builder().compute_power(per_sat).build()?.tco()?;
+                let report = SuDcDesign::builder()
+                    .compute_power(per_sat)
+                    .build()?
+                    .tco()?;
                 let launch_and_ops = report.launch_cost() + report.operations_cost();
                 let total = fleet_cost(
                     k,
@@ -217,8 +219,7 @@ mod tests {
     fn filtering_halves_compute_and_cuts_tco() {
         // Paper Fig. 19: decreasing cost with filtering rate; at f = 0.5 the
         // SµDC halves in size (TCO falls, but sublinearly).
-        let curve =
-            collaborative_tco(Watts::from_kilowatts(4.0), &[0.0, 0.25, 0.5, 0.75]).unwrap();
+        let curve = collaborative_tco(Watts::from_kilowatts(4.0), &[0.0, 0.25, 0.5, 0.75]).unwrap();
         assert!((curve[0].1 - 1.0).abs() < 1e-9);
         for pair in curve.windows(2) {
             assert!(pair[1].1 < pair[0].1, "TCO must fall with filtering");
@@ -233,7 +234,11 @@ mod tests {
         // accelerator), 1.31x (heterogeneous) TCO improvements at 4 kW.
         let rows = collaborative_sensitivity(
             Watts::from_kilowatts(4.0),
-            &[("GPU", 1.0), ("Global accel", 57.8), ("Per-layer accel", 116.0)],
+            &[
+                ("GPU", 1.0),
+                ("Global accel", 57.8),
+                ("Per-layer accel", 116.0),
+            ],
         )
         .unwrap();
         let gpu = rows[0].improvement();
@@ -304,7 +309,11 @@ mod tests {
         )
         .unwrap();
         let s = &series[0];
-        assert!(s.optimal_satellites > 4, "optimal k {}", s.optimal_satellites);
+        assert!(
+            s.optimal_satellites > 4,
+            "optimal k {}",
+            s.optimal_satellites
+        );
         let best = s
             .points
             .iter()
@@ -322,6 +331,10 @@ mod tests {
         )
         .unwrap();
         let s = &series[0];
-        assert!(s.optimal_satellites >= 2, "optimal k {}", s.optimal_satellites);
+        assert!(
+            s.optimal_satellites >= 2,
+            "optimal k {}",
+            s.optimal_satellites
+        );
     }
 }

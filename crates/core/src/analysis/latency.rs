@@ -6,7 +6,6 @@
 //! "this latency is still significantly better than the latency achieved
 //! using a traditional bent-pipe downlink model".
 
-use serde::Serialize;
 use sudc_comms::compression::Compression;
 use sudc_compute::gpu::GpuEnergyModel;
 use sudc_compute::workloads::Workload;
@@ -16,7 +15,7 @@ use sudc_orbital::CircularOrbit;
 use sudc_units::{Gigabits, GigabitsPerSecond, Seconds};
 
 /// Latency of the two processing paths for one workload.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct LatencyComparison {
     /// Application evaluated.
     pub workload: &'static str,

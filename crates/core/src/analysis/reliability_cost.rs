@@ -1,13 +1,12 @@
 //! Redundancy-scheme TCO comparison (paper §VIII, Fig. 28).
 
-use serde::Serialize;
 use sudc_reliability::RedundancyScheme;
 use sudc_units::Watts;
 
 use crate::design::{DesignError, SuDcDesign};
 
 /// One Fig. 28 group: relative TCO of each scheme at one equivalent power.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct RedundancyGroup {
     /// Equivalent (protected) computing power.
     pub equivalent_power: Watts,
@@ -77,9 +76,7 @@ mod tests {
         let g = group_at(2.0);
         assert!(relative(&g, RedundancyScheme::Tmr) > 1.4);
         assert!(relative(&g, RedundancyScheme::Dmr) > 1.2);
-        assert!(
-            relative(&g, RedundancyScheme::Tmr) > relative(&g, RedundancyScheme::Dmr)
-        );
+        assert!(relative(&g, RedundancyScheme::Tmr) > relative(&g, RedundancyScheme::Dmr));
     }
 
     #[test]

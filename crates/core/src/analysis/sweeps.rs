@@ -1,6 +1,9 @@
 //! TCO and mass sweeps over lifetime and compute power (Figs. 4, 5, 6).
+//!
+//! Each sweep point is an independent design sizing, so the grids run on
+//! the workspace executor ([`sudc_par`]); results keep input order and are
+//! identical at every thread count.
 
-use serde::Serialize;
 use sudc_units::{Watts, Years};
 
 use crate::analysis::default_tco;
@@ -9,7 +12,7 @@ use crate::tco::TcoLine;
 
 /// One lifetime series (Fig. 4): a SµDC size swept over lifetimes, with
 /// TCO relative to the global baseline (first power, first lifetime).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct LifetimeSeries {
     /// Compute power of this series.
     pub power: Watts,
@@ -38,28 +41,37 @@ pub fn tco_vs_lifetime(
         .build()?
         .tco()?
         .total();
-    powers
+    // Flatten the (power × lifetime) grid, size every design in parallel,
+    // then regroup into one series per power.
+    let grid: Vec<(Watts, Years)> = powers
         .iter()
-        .map(|&p| {
-            let points = lifetimes
+        .flat_map(|&p| lifetimes.iter().map(move |&l| (p, l)))
+        .collect();
+    let ratios = sudc_par::par_try_map(&grid, |_, &(p, l)| {
+        let tco = SuDcDesign::builder()
+            .compute_power(p)
+            .lifetime(l)
+            .build()?
+            .tco()?
+            .total();
+        Ok::<f64, DesignError>(tco / baseline)
+    })?;
+    Ok(powers
+        .iter()
+        .zip(ratios.chunks(lifetimes.len()))
+        .map(|(&p, chunk)| LifetimeSeries {
+            power: p,
+            points: lifetimes
                 .iter()
-                .map(|&l| {
-                    let tco = SuDcDesign::builder()
-                        .compute_power(p)
-                        .lifetime(l)
-                        .build()?
-                        .tco()?
-                        .total();
-                    Ok((l, tco / baseline))
-                })
-                .collect::<Result<Vec<_>, DesignError>>()?;
-            Ok(LifetimeSeries { power: p, points })
+                .copied()
+                .zip(chunk.iter().copied())
+                .collect(),
         })
-        .collect()
+        .collect())
 }
 
 /// One point of the Fig. 5 power sweep.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct PowerPoint {
     /// Compute power.
     pub power: Watts,
@@ -82,26 +94,23 @@ pub struct PowerPoint {
 pub fn tco_vs_power(powers: &[Watts]) -> Result<Vec<PowerPoint>, DesignError> {
     assert!(!powers.is_empty(), "empty sweep");
     let baseline = default_tco(powers[0])?.total();
-    powers
-        .iter()
-        .map(|&p| {
-            let report = default_tco(p)?;
-            let breakdown = report
-                .lines()
-                .into_iter()
-                .map(|(line, cost)| (line, cost / baseline))
-                .collect();
-            Ok(PowerPoint {
-                power: p,
-                relative_tco: report.total() / baseline,
-                breakdown,
-            })
+    sudc_par::par_try_map(powers, |_, &p| {
+        let report = default_tco(p)?;
+        let breakdown = report
+            .lines()
+            .into_iter()
+            .map(|(line, cost)| (line, cost / baseline))
+            .collect();
+        Ok(PowerPoint {
+            power: p,
+            relative_tco: report.total() / baseline,
+            breakdown,
         })
-        .collect()
+    })
 }
 
 /// One point of the Fig. 6 mass sweep.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct MassPoint {
     /// Compute power.
     pub power: Watts,
@@ -127,17 +136,14 @@ pub fn mass_vs_power(powers: &[Watts]) -> Result<Vec<MassPoint>, DesignError> {
         .build()?
         .size()?
         .wet_mass();
-    powers
-        .iter()
-        .map(|&p| {
-            let sized = SuDcDesign::builder().compute_power(p).build()?.size()?;
-            Ok(MassPoint {
-                power: p,
-                relative_mass: sized.wet_mass() / baseline,
-                payload_mass_share: sized.payload_mass / sized.wet_mass(),
-            })
+    sudc_par::par_try_map(powers, |_, &p| {
+        let sized = SuDcDesign::builder().compute_power(p).build()?.size()?;
+        Ok(MassPoint {
+            power: p,
+            relative_mass: sized.wet_mass() / baseline,
+            payload_mass_share: sized.payload_mass / sized.wet_mass(),
         })
-        .collect()
+    })
 }
 
 #[cfg(test)]

@@ -6,13 +6,12 @@
 //! the Pareto-efficient designs, making "extreme heterogeneity wins"
 //! checkable rather than narrative.
 
-use serde::Serialize;
 use sudc_units::{Usd, Watts};
 
 use crate::design::{DesignError, SuDcDesign};
 
 /// One evaluated design point.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct TradePoint {
     /// Architecture label.
     pub architecture: String,
@@ -39,28 +38,30 @@ pub fn sweep(
     powers: &[Watts],
     architectures: &[(&str, f64, f64)],
 ) -> Result<Vec<TradePoint>, DesignError> {
-    let mut points = Vec::new();
-    for &(label, eff, price) in architectures {
-        for &power in powers {
-            let tco = SuDcDesign::builder()
-                .compute_power(power)
-                .efficiency_factor(eff)
-                .hardware_price_factor(price)
-                .isl_typical()
-                .build()?
-                .tco()?
-                .total();
-            points.push(TradePoint {
-                architecture: label.to_string(),
-                efficiency_factor: eff,
-                price_factor: price,
-                equivalent_power: power,
-                tco,
-                watts_per_musd: power.value() / tco.as_millions(),
-            });
-        }
-    }
-    Ok(points)
+    // Every grid point is an independent sizing: flatten and fan out on the
+    // workspace executor, preserving (architecture, power) iteration order.
+    let grid: Vec<(&str, f64, f64, Watts)> = architectures
+        .iter()
+        .flat_map(|&(label, eff, price)| powers.iter().map(move |&p| (label, eff, price, p)))
+        .collect();
+    sudc_par::par_try_map(&grid, |_, &(label, eff, price, power)| {
+        let tco = SuDcDesign::builder()
+            .compute_power(power)
+            .efficiency_factor(eff)
+            .hardware_price_factor(price)
+            .isl_typical()
+            .build()?
+            .tco()?
+            .total();
+        Ok(TradePoint {
+            architecture: label.to_string(),
+            efficiency_factor: eff,
+            price_factor: price,
+            equivalent_power: power,
+            tco,
+            watts_per_musd: power.value() / tco.as_millions(),
+        })
+    })
 }
 
 /// Extracts the Pareto front: points not dominated in
@@ -70,10 +71,7 @@ pub fn pareto_front(points: &[TradePoint]) -> Vec<&TradePoint> {
     let mut front: Vec<&TradePoint> = Vec::new();
     for candidate in points {
         let dominated = points.iter().any(|other| {
-            other.equivalent_power >= candidate.equivalent_power
-                && other.tco < candidate.tco
-                && (other.equivalent_power > candidate.equivalent_power
-                    || other.tco < candidate.tco)
+            other.equivalent_power >= candidate.equivalent_power && other.tco < candidate.tco
         });
         if !dominated {
             front.push(candidate);

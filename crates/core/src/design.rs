@@ -1,6 +1,5 @@
 //! The SµDC design builder and sizing pipeline.
 
-use serde::Serialize;
 use sudc_comms::cdh::CdhDesign;
 use sudc_comms::compression::Compression;
 use sudc_comms::requirements::saturation_rate;
@@ -52,11 +51,8 @@ const TTC_FIXED_MASS_KG: f64 = 12.0;
 #[must_use]
 pub fn typical_efficiency() -> sudc_units::KilopixelsPerJoule {
     let suite = workloads::suite();
-    let log_mean = suite
-        .iter()
-        .map(|w| w.efficiency.value().ln())
-        .sum::<f64>()
-        / suite.len() as f64;
+    let log_mean =
+        suite.iter().map(|w| w.efficiency.value().ln()).sum::<f64>() / suite.len() as f64;
     sudc_units::KilopixelsPerJoule::new(log_mean.exp())
 }
 
@@ -95,7 +91,7 @@ impl core::fmt::Display for DesignError {
 impl std::error::Error for DesignError {}
 
 /// How the ISL is provisioned.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum IslSizing {
     /// Explicit capacity.
     Fixed(GigabitsPerSecond),
@@ -112,7 +108,7 @@ pub enum IslSizing {
 ///
 /// Construct with [`SuDcDesign::builder`]; obtain costs with
 /// [`SuDcDesign::tco`] and physical sizing with [`SuDcDesign::size`].
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct SuDcDesign {
     /// Compute power available to applications (equivalent power for
     /// redundant configurations).
@@ -165,13 +161,10 @@ impl SuDcDesign {
             hardware: self.hardware.name,
             missing: "TDP",
         })?;
-        let unit_price = self
-            .hardware
-            .price
-            .ok_or(DesignError::IncompleteHardware {
-                hardware: self.hardware.name,
-                missing: "price",
-            })?;
+        let unit_price = self.hardware.price.ok_or(DesignError::IncompleteHardware {
+            hardware: self.hardware.name,
+            missing: "price",
+        })?;
 
         // Physical payload power: redundancy overhead divided by the
         // architecture's energy-efficiency factor.
@@ -279,10 +272,7 @@ impl SuDcDesign {
     /// ionizing dose behind `shield_mils` of aluminum (§VIII's COTS
     /// suitability check).
     #[must_use]
-    pub fn radiation_assessment(
-        &self,
-        shield_mils: f64,
-    ) -> sudc_orbital::radiation::TidAssessment {
+    pub fn radiation_assessment(&self, shield_mils: f64) -> sudc_orbital::radiation::TidAssessment {
         sudc_orbital::radiation::TidAssessment::assess(
             self.radiation_regime(),
             shield_mils,
@@ -293,7 +283,7 @@ impl SuDcDesign {
 }
 
 /// A physically sized SµDC, ready for costing.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct SizedSuDc {
     /// The specification this sizing realizes.
     pub design: SuDcDesign,
@@ -352,6 +342,24 @@ impl SizedSuDc {
         let launch_cost = self.design.launch.cost(self.wet_mass());
         let ops_cost = OPS_COST_PER_YEAR * self.design.lifetime.value();
         TcoReport::new(estimate, launch_cost, ops_cost)
+    }
+
+    /// Exports the physical sizing as JSON.
+    #[must_use]
+    pub fn to_json(&self) -> sudc_par::json::Json {
+        sudc_par::json::Json::object()
+            .with(
+                "physical_compute_power_w",
+                self.physical_compute_power.value(),
+            )
+            .with("isl_rate_gbps", self.isl_rate.value())
+            .with("payload_mass_kg", self.payload_mass.value())
+            .with("payload_price_usd", self.payload_price.value())
+            .with("payload_units", self.payload_units)
+            .with("dry_mass_kg", self.dry_mass.value())
+            .with("fuel_mass_kg", self.fuel_mass.value())
+            .with("wet_mass_kg", self.wet_mass().value())
+            .with("structure_mass_kg", self.structure_mass.value())
     }
 }
 
@@ -573,7 +581,9 @@ mod tests {
     #[test]
     fn builder_requires_compute_power() {
         let err = SuDcDesign::builder().build().unwrap_err();
-        assert!(matches!(err, DesignError::InvalidParameter { name, .. } if name == "compute_power"));
+        assert!(
+            matches!(err, DesignError::InvalidParameter { name, .. } if name == "compute_power")
+        );
     }
 
     #[test]
@@ -687,7 +697,9 @@ mod tests {
             .fso_efficiency_scalar(0.2)
             .build()
             .unwrap_err();
-        assert!(matches!(err, DesignError::InvalidParameter { name, .. } if name == "fso_efficiency_scalar"));
+        assert!(
+            matches!(err, DesignError::InvalidParameter { name, .. } if name == "fso_efficiency_scalar")
+        );
     }
 
     #[test]
@@ -695,7 +707,11 @@ mod tests {
         // Paper §VIII: LEO + 400 mil shielding keeps COTS within tolerance.
         let design = four_kw();
         let shielded = design.radiation_assessment(400.0);
-        assert!(shielded.survives_with_margin(1.5), "margin {}", shielded.margin);
+        assert!(
+            shielded.survives_with_margin(1.5),
+            "margin {}",
+            shielded.margin
+        );
         let thin = design.radiation_assessment(100.0);
         assert!(thin.margin < shielded.margin);
     }

@@ -4,7 +4,6 @@
 //! Scenarios give examples, benches, and downstream users a single source
 //! of truth for "the paper's 4 kW SµDC" and its variants.
 
-use serde::Serialize;
 use sudc_comms::compression::Compression;
 use sudc_compute::hardware;
 use sudc_units::Watts;
@@ -12,7 +11,7 @@ use sudc_units::Watts;
 use crate::design::{DesignError, SuDcDesign, SuDcDesignBuilder};
 
 /// The named configurations used across the paper's evaluation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Scenario {
     /// 500 W entry-level SµDC (Figs. 4–8's smallest point).
     Small,
@@ -104,7 +103,9 @@ mod tests {
     #[test]
     fn every_scenario_designs_and_costs() {
         for scenario in Scenario::all() {
-            let design = scenario.design().unwrap_or_else(|e| panic!("{scenario}: {e}"));
+            let design = scenario
+                .design()
+                .unwrap_or_else(|e| panic!("{scenario}: {e}"));
             let tco = design.tco().unwrap_or_else(|e| panic!("{scenario}: {e}"));
             assert!(tco.total().as_millions() > 5.0, "{scenario}");
         }

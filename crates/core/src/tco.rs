@@ -1,6 +1,5 @@
 //! Total-cost-of-ownership rollup for one SµDC.
 
-use serde::{Deserialize, Serialize};
 use sudc_sscm::subsystems::Subsystem;
 use sudc_sscm::CostEstimate;
 use sudc_units::Usd;
@@ -9,7 +8,7 @@ use sudc_units::Usd;
 pub const OPS_COST_PER_YEAR: Usd = Usd::new(900000.0);
 
 /// A TCO line item beyond the satellite CERs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum TcoLine {
     /// A satellite subsystem (from the SSCM-SµDC estimate).
     Satellite(Subsystem),
@@ -30,7 +29,7 @@ impl core::fmt::Display for TcoLine {
 }
 
 /// The complete TCO of one SµDC: satellite NRE + RE, launch, and operations.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TcoReport {
     estimate: CostEstimate,
     launch: Usd,
@@ -117,6 +116,22 @@ impl TcoReport {
         self.share(TcoLine::Satellite(Subsystem::Power))
             + self.share(TcoLine::Satellite(Subsystem::Thermal))
     }
+
+    /// Exports the report as JSON: every line item in USD plus the rollups.
+    #[must_use]
+    pub fn to_json(&self) -> sudc_par::json::Json {
+        let lines = self
+            .lines()
+            .into_iter()
+            .fold(sudc_par::json::Json::object(), |obj, (line, cost)| {
+                obj.with(&line.to_string(), cost.value())
+            });
+        sudc_par::json::Json::object()
+            .with("lines_usd", lines)
+            .with("nre_usd", self.nre().value())
+            .with("marginal_unit_usd", self.marginal_unit().value())
+            .with("total_usd", self.total().value())
+    }
 }
 
 #[cfg(test)]
@@ -161,9 +176,6 @@ mod tests {
     #[test]
     fn display_names() {
         assert_eq!(TcoLine::Launch.to_string(), "Launch");
-        assert_eq!(
-            TcoLine::Satellite(Subsystem::Power).to_string(),
-            "Power"
-        );
+        assert_eq!(TcoLine::Satellite(Subsystem::Power).to_string(), "Power");
     }
 }

@@ -7,13 +7,12 @@
 //! module models that bent-pipe path so the in-space alternative can be
 //! compared quantitatively.
 
-use serde::{Deserialize, Serialize};
 use sudc_units::{Gigabits, GigabitsPerSecond, Seconds};
 
 use crate::orbit::CircularOrbit;
 
 /// A ground-station network serving a LEO downlink.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GroundNetwork {
     /// Number of geographically distributed stations.
     pub stations: u32,

@@ -5,7 +5,6 @@
 //! "fuel mass needed for station-keeping increases linearly with lifetime" —
 //! this module provides that linear Δv-per-year budget from first principles.
 
-use serde::{Deserialize, Serialize};
 use sudc_units::{Kilograms, Meters, MetersPerSecond, SquareMeters, Years};
 
 use crate::orbit::CircularOrbit;
@@ -60,7 +59,7 @@ pub fn atmospheric_density(altitude: Meters) -> f64 {
 }
 
 /// Ballistic description of a spacecraft for drag purposes.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DragProfile {
     /// Drag coefficient (typically 2.2 for satellites).
     pub drag_coefficient: f64,
@@ -131,7 +130,7 @@ impl DragProfile {
 /// The deorbit allowance reflects the end-of-life disposal burn required of
 /// LEO constellations; the margin covers collision avoidance and momentum
 /// management.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DvBudget {
     /// Station-keeping component (linear in lifetime).
     pub station_keeping: MetersPerSecond,
@@ -224,8 +223,9 @@ mod tests {
             DvBudget::for_mission(profile, CircularOrbit::reference_leo(), Years::new(5.0));
         assert!(budget.total() > budget.station_keeping);
         assert!(budget.total().value() > 100.0);
-        let expected =
-            budget.station_keeping + budget.deorbit + (budget.station_keeping + budget.deorbit) * 0.1;
+        let expected = budget.station_keeping
+            + budget.deorbit
+            + (budget.station_keeping + budget.deorbit) * 0.1;
         assert!((budget.total() - expected).abs() < MetersPerSecond::new(1e-9));
     }
 

@@ -5,13 +5,12 @@
 //! module derives that rate from the orbit and imager geometry, and converts
 //! it into the pixel and bit rates that size ISLs and compute payloads.
 
-use serde::{Deserialize, Serialize};
-use sudc_units::{GigabitsPerSecond, Meters, MegapixelsPerSecond};
+use sudc_units::{GigabitsPerSecond, MegapixelsPerSecond, Meters};
 
 use crate::orbit::CircularOrbit;
 
 /// A push-frame Earth-observation imager.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Imager {
     /// Along-track length of one ground frame.
     pub frame_along_track: Meters,
@@ -75,8 +74,7 @@ impl Imager {
     /// Raw (uncompressed) data rate on `orbit`.
     #[must_use]
     pub fn data_rate(self, orbit: CircularOrbit) -> GigabitsPerSecond {
-        let bits_per_second =
-            self.pixel_rate(orbit).value() * 1e6 * f64::from(self.bits_per_pixel);
+        let bits_per_second = self.pixel_rate(orbit).value() * 1e6 * f64::from(self.bits_per_pixel);
         GigabitsPerSecond::new(bits_per_second / 1e9)
     }
 }

@@ -5,11 +5,10 @@
 //! default (the paper's motivation cites "recent large reduction in space
 //! launch cost").
 
-use serde::{Deserialize, Serialize};
 use sudc_units::{Kilograms, Usd};
 
 /// A $/kg-to-orbit launch price model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LaunchPricing {
     /// Price per kilogram delivered to LEO.
     pub usd_per_kg: Usd,
@@ -80,7 +79,9 @@ mod tests {
     #[test]
     fn next_gen_is_cheaper() {
         let m = Kilograms::new(1500.0);
-        assert!(LaunchPricing::next_gen_heavy().cost(m) < LaunchPricing::falcon9_rideshare().cost(m));
+        assert!(
+            LaunchPricing::next_gen_heavy().cost(m) < LaunchPricing::falcon9_rideshare().cost(m)
+        );
     }
 
     #[test]

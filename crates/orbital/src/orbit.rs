@@ -1,6 +1,5 @@
 //! Circular-orbit geometry: velocity, period, eclipse fraction.
 
-use serde::{Deserialize, Serialize};
 use sudc_units::{Meters, MetersPerSecond, Seconds};
 
 use crate::constants::{MU_EARTH, R_EARTH};
@@ -21,7 +20,7 @@ use crate::constants::{MU_EARTH, R_EARTH};
 /// assert!(starlink_like.is_leo());
 /// assert!(starlink_like.eclipse_fraction() > 0.3);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CircularOrbit {
     altitude: Meters,
 }
@@ -154,7 +153,10 @@ mod tests {
             "ISS period should be ~93 min, got {minutes}"
         );
         let v = iss.velocity().value();
-        assert!((v - 7660.0).abs() < 30.0, "ISS velocity ~7.66 km/s, got {v}");
+        assert!(
+            (v - 7660.0).abs() < 30.0,
+            "ISS velocity ~7.66 km/s, got {v}"
+        );
     }
 
     #[test]
@@ -214,7 +216,11 @@ mod tests {
         assert!(f40 < f0 && f40 > 0.0);
         // Beyond the eclipse-free beta (about 67 deg at 550 km) no shadow.
         let free = o.eclipse_free_beta();
-        assert!((free.to_degrees() - 67.0).abs() < 2.0, "free beta {}", free.to_degrees());
+        assert!(
+            (free.to_degrees() - 67.0).abs() < 2.0,
+            "free beta {}",
+            free.to_degrees()
+        );
         assert_eq!(o.eclipse_fraction_at_beta(free + 0.01), 0.0);
     }
 

@@ -9,11 +9,10 @@
 //! Shielding attenuation is modeled as exponential in shield thickness,
 //! fitted through the two LEO anchor points.
 
-use serde::{Deserialize, Serialize};
 use sudc_units::{KradSi, KradSiPerYear, Years};
 
 /// Orbit radiation regime.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RadiationRegime {
     /// Non-polar low Earth orbit (the SµDC operating regime).
     LeoNonPolar,
@@ -75,7 +74,7 @@ pub fn mission_dose(regime: RadiationRegime, shield_mils: f64, lifetime: Years) 
 }
 
 /// Verdict of a COTS-suitability radiation check.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TidAssessment {
     /// Dose the mission will accumulate.
     pub mission_dose: KradSi,
@@ -125,7 +124,8 @@ mod tests {
     fn geo_is_harsher_than_leo() {
         for mils in [100.0, 200.0, 400.0] {
             assert!(
-                dose_rate(RadiationRegime::Geo, mils) > dose_rate(RadiationRegime::LeoNonPolar, mils)
+                dose_rate(RadiationRegime::Geo, mils)
+                    > dose_rate(RadiationRegime::LeoNonPolar, mils)
             );
         }
     }

@@ -6,13 +6,12 @@
 //! `m_fuel = m_dry (e^{dv/ve} - 1)`; it reproduces the paper's qualitative
 //! claim that fuel scales proportionally with dry mass and with lifetime.)
 
-use serde::{Deserialize, Serialize};
 use sudc_units::{Kilograms, MetersPerSecond, Seconds};
 
 use crate::constants::G0;
 
 /// A chemical (or electric) thruster characterized by specific impulse.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Engine {
     /// Specific impulse, seconds.
     pub isp: Seconds,

@@ -1,0 +1,341 @@
+//! Dependency-free parallel-sweep substrate for the `space-udc` workspace.
+//!
+//! Every headline result of the paper is produced by an embarrassingly
+//! parallel sweep — the 7 168-point accelerator design-space exploration
+//! (Fig. 17), the Monte-Carlo availability cross-validation (Figs. 24–25),
+//! and the lifetime/power/tradespace TCO sweeps (Figs. 4–6). This crate
+//! provides the shared executor those sweeps run on, built entirely on
+//! [`std::thread::scope`] so the workspace keeps building offline with no
+//! crates.io dependencies.
+//!
+//! Three things live here:
+//!
+//! - [`par_map`], [`par_reduce`], and [`par_max_by`]: chunked data-parallel
+//!   primitives over slices whose merge order is *deterministic* (chunks
+//!   merge left-to-right in index order), so parallel output is
+//!   bit-identical to serial regardless of thread count;
+//! - [`rng`]: a small, seedable, splittable pseudo-random generator
+//!   (SplitMix64 seeding a xoshiro256**-class core) used by the Monte-Carlo
+//!   models so trials can be partitioned across threads reproducibly;
+//! - [`json`]: a minimal JSON value builder used to emit machine-readable
+//!   benchmark and report artifacts (`BENCH_sweeps.json`).
+//!
+//! # Thread-count resolution
+//!
+//! The worker count is resolved, in priority order, from:
+//!
+//! 1. an explicit process-wide override ([`set_threads`], set by the
+//!    `figures --jobs N` flag),
+//! 2. the `SUDC_THREADS` environment variable,
+//! 3. [`std::thread::available_parallelism`].
+//!
+//! ```
+//! let doubled = sudc_par::par_map(&[1, 2, 3], |_, &x| x * 2);
+//! assert_eq!(doubled, vec![2, 4, 6]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod rng;
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Process-wide thread-count override; 0 means "auto".
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Overrides the worker-thread count for every subsequent parallel call in
+/// this process (the `figures --jobs N` flag lands here). Passing 0
+/// restores automatic resolution.
+pub fn set_threads(n: usize) {
+    THREAD_OVERRIDE.store(n, Ordering::Relaxed);
+}
+
+/// Resolves the worker-thread count: explicit override, then the
+/// `SUDC_THREADS` environment variable, then available parallelism.
+/// Always at least 1.
+#[must_use]
+pub fn threads() -> usize {
+    let forced = THREAD_OVERRIDE.load(Ordering::Relaxed);
+    if forced > 0 {
+        return forced;
+    }
+    if let Ok(v) = std::env::var("SUDC_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Splits `len` items into at most `workers` contiguous chunks of
+/// near-equal size, returning `(start, end)` index pairs in order.
+#[must_use]
+pub fn chunk_bounds(len: usize, workers: usize) -> Vec<(usize, usize)> {
+    let workers = workers.max(1).min(len.max(1));
+    let base = len / workers;
+    let extra = len % workers;
+    let mut bounds = Vec::with_capacity(workers);
+    let mut start = 0;
+    for i in 0..workers {
+        let size = base + usize::from(i < extra);
+        if size == 0 {
+            break;
+        }
+        bounds.push((start, start + size));
+        start += size;
+    }
+    bounds
+}
+
+/// Maps `f` over `items` on `workers` threads, preserving input order.
+///
+/// `f` receives the *global* index of each item alongside the item, so
+/// deterministic per-item work (e.g. index-derived RNG streams) does not
+/// depend on the thread count. With `workers <= 1` (or one item) the map
+/// runs inline on the caller's thread.
+pub fn par_map_threads<T, R, F>(workers: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let bounds = chunk_bounds(items.len(), workers);
+    if bounds.len() <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let mut out = Vec::with_capacity(items.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = bounds
+            .iter()
+            .map(|&(start, end)| {
+                let f = &f;
+                scope.spawn(move || {
+                    items[start..end]
+                        .iter()
+                        .enumerate()
+                        .map(|(i, t)| f(start + i, t))
+                        .collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        for handle in handles {
+            out.extend(handle.join().expect("sudc-par worker panicked"));
+        }
+    });
+    out
+}
+
+/// [`par_map_threads`] with the ambient thread count ([`threads`]).
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    par_map_threads(threads(), items, f)
+}
+
+/// Maps a fallible `f` over `items` in parallel, returning the first error
+/// (in input order) or every result in input order.
+///
+/// # Errors
+///
+/// Returns the error produced for the lowest-indexed failing item.
+pub fn par_try_map<T, R, E, F>(items: &[T], f: F) -> Result<Vec<R>, E>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    F: Fn(usize, &T) -> Result<R, E> + Sync,
+{
+    par_map(items, f).into_iter().collect()
+}
+
+/// Folds each chunk serially (in index order) with `fold`, then merges the
+/// per-chunk accumulators **left-to-right in chunk order** with `merge`.
+///
+/// Because chunks cover the input in contiguous index order and the merge
+/// is sequential, any reduction whose serial form is a left fold with an
+/// associative merge (sums, counts, first-wins argmax) produces output
+/// bit-identical to its serial equivalent at every thread count.
+pub fn par_reduce_threads<T, A, I, F, M>(
+    workers: usize,
+    items: &[T],
+    init: I,
+    fold: F,
+    merge: M,
+) -> A
+where
+    T: Sync,
+    A: Send,
+    I: Fn() -> A + Sync,
+    F: Fn(A, usize, &T) -> A + Sync,
+    M: Fn(A, A) -> A,
+{
+    let bounds = chunk_bounds(items.len(), workers);
+    if bounds.len() <= 1 {
+        return items
+            .iter()
+            .enumerate()
+            .fold(init(), |acc, (i, t)| fold(acc, i, t));
+    }
+    let mut accs = Vec::with_capacity(bounds.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = bounds
+            .iter()
+            .map(|&(start, end)| {
+                let (init, fold) = (&init, &fold);
+                scope.spawn(move || {
+                    items[start..end]
+                        .iter()
+                        .enumerate()
+                        .fold(init(), |acc, (i, t)| fold(acc, start + i, t))
+                })
+            })
+            .collect();
+        for handle in handles {
+            accs.push(handle.join().expect("sudc-par worker panicked"));
+        }
+    });
+    accs.into_iter().reduce(merge).unwrap_or_else(init)
+}
+
+/// [`par_reduce_threads`] with the ambient thread count ([`threads`]).
+pub fn par_reduce<T, A, I, F, M>(items: &[T], init: I, fold: F, merge: M) -> A
+where
+    T: Sync,
+    A: Send,
+    I: Fn() -> A + Sync,
+    F: Fn(A, usize, &T) -> A + Sync,
+    M: Fn(A, A) -> A,
+{
+    par_reduce_threads(threads(), items, init, fold, merge)
+}
+
+/// Finds the item maximizing `score`, returning `(index, score)`.
+///
+/// Ties break toward the **lowest index** (the first maximum encountered in
+/// input order), exactly like a serial `>` scan, at every thread count.
+/// Returns `None` for an empty slice or if every score is NaN.
+pub fn par_max_by<T, F>(items: &[T], score: F) -> Option<(usize, f64)>
+where
+    T: Sync,
+    F: Fn(usize, &T) -> f64 + Sync,
+{
+    par_reduce(
+        items,
+        || None::<(usize, f64)>,
+        |best, i, t| {
+            let s = score(i, t);
+            match best {
+                Some((_, b)) if s > b => Some((i, s)),
+                None if !s.is_nan() => Some((i, s)),
+                _ => best,
+            }
+        },
+        |a, b| match (a, b) {
+            // Left (lower-index) accumulator wins ties, like a serial scan.
+            (Some((_, av)), Some((_, bv))) => {
+                if bv > av {
+                    b
+                } else {
+                    a
+                }
+            }
+            (x, None) | (None, x) => x,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_bounds_cover_input_exactly_once() {
+        for len in [0usize, 1, 2, 7, 64, 7168] {
+            for workers in [1usize, 2, 3, 5, 8, 100] {
+                let bounds = chunk_bounds(len, workers);
+                let mut expected = 0;
+                for &(start, end) in &bounds {
+                    assert_eq!(start, expected, "len={len} workers={workers}");
+                    assert!(end > start);
+                    expected = end;
+                }
+                assert_eq!(expected, len, "len={len} workers={workers}");
+                assert!(bounds.len() <= workers.max(1));
+            }
+        }
+    }
+
+    #[test]
+    fn par_map_preserves_order_at_every_thread_count() {
+        let items: Vec<u64> = (0..1000).collect();
+        let expected: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for workers in [1, 2, 3, 7, 16] {
+            let got = par_map_threads(workers, &items, |_, &x| x * x);
+            assert_eq!(got, expected, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn par_map_passes_global_indices() {
+        let items = vec![(); 257];
+        for workers in [1, 4, 13] {
+            let got = par_map_threads(workers, &items, |i, ()| i);
+            assert_eq!(got, (0..257).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn par_reduce_sum_matches_serial() {
+        let items: Vec<f64> = (0..501).map(|i| f64::from(i) * 0.25).collect();
+        let serial: f64 = items.iter().sum();
+        for workers in [1, 2, 5, 11] {
+            // Chunked left-to-right float summation is NOT bit-identical to a
+            // flat left fold in general, but integer-valued quarters are exact.
+            let parallel =
+                par_reduce_threads(workers, &items, || 0.0, |acc, _, &x| acc + x, |a, b| a + b);
+            assert!((parallel - serial).abs() < 1e-9, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn par_max_by_breaks_ties_toward_lowest_index() {
+        // Two global maxima; the first must win at every thread count.
+        let items = [1.0, 5.0, 3.0, 5.0, 2.0];
+        for workers in [1, 2, 3, 5, 8] {
+            set_threads(workers);
+            let (idx, val) = par_max_by(&items, |_, &x| x).unwrap();
+            assert_eq!((idx, val), (1, 5.0), "workers={workers}");
+        }
+        set_threads(0);
+    }
+
+    #[test]
+    fn par_max_by_ignores_nan_and_empty() {
+        set_threads(2);
+        assert_eq!(par_max_by::<f64, _>(&[], |_, &x| x), None);
+        let items = [f64::NAN, 2.0, f64::NAN];
+        assert_eq!(par_max_by(&items, |_, &x| x), Some((1, 2.0)));
+        set_threads(0);
+    }
+
+    #[test]
+    fn par_try_map_returns_lowest_index_error() {
+        let items: Vec<i32> = (0..100).collect();
+        let r = par_try_map(&items, |_, &x| if x >= 40 { Err(x) } else { Ok(x) });
+        assert_eq!(r, Err(40));
+        let ok = par_try_map(&items, |_, &x| Ok::<_, ()>(x * 2));
+        assert_eq!(ok.unwrap()[99], 198);
+    }
+
+    #[test]
+    fn threads_is_at_least_one() {
+        assert!(threads() >= 1);
+    }
+}

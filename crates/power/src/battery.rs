@@ -1,6 +1,5 @@
 //! Eclipse-ride-through battery sizing.
 
-use serde::{Deserialize, Serialize};
 use sudc_orbital::CircularOrbit;
 use sudc_units::{Joules, Kilograms, Watts};
 
@@ -15,7 +14,7 @@ pub const DEFAULT_DEPTH_OF_DISCHARGE: f64 = 0.30;
 const DISCHARGE_EFFICIENCY: f64 = 0.95;
 
 /// A sized battery pack.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Battery {
     /// Installed (nameplate) capacity.
     pub capacity: Joules,

@@ -1,6 +1,5 @@
 //! Complete power-subsystem design: array + battery + distribution.
 
-use serde::{Deserialize, Serialize};
 use sudc_orbital::CircularOrbit;
 use sudc_units::{Kilograms, SquareMeters, Watts, Years};
 
@@ -12,7 +11,7 @@ use crate::solar::{SolarArray, SolarCellTech};
 const DISTRIBUTION_SPECIFIC_MASS: f64 = 0.01;
 
 /// A sized electrical power subsystem.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PowerDesign {
     /// End-of-life continuous load the subsystem delivers.
     pub eol_load: Watts,

@@ -7,11 +7,10 @@
 //! cost are catastrophically worse at SµDC power levels — which is why the
 //! toolkit defaults to solar.
 
-use serde::{Deserialize, Serialize};
 use sudc_units::{Kilograms, Usd, Watts, Years};
 
 /// An RTG generator family.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Rtg {
     /// Electrical specific power at BOL, W/kg (flight RTGs: ~2–5 W/kg).
     pub specific_power: f64,
@@ -79,10 +78,7 @@ mod tests {
         // An RTG's BOL only covers decay, not eclipse: the ratio is much
         // smaller than solar's (~1.9x at 5 years).
         let rtg = Rtg::gphs_class();
-        let ratio = rtg
-            .bol_power(Watts::new(1000.0), Years::new(5.0))
-            .value()
-            / 1000.0;
+        let ratio = rtg.bol_power(Watts::new(1000.0), Years::new(5.0)).value() / 1000.0;
         assert!(ratio < 1.15, "RTG BOL/EOL ratio {ratio}");
     }
 
@@ -91,7 +87,8 @@ mod tests {
         // 4 kW-class EOL load: solar power subsystem ~200 kg vs RTG ~900 kg.
         let load = Watts::from_kilowatts(4.0);
         let rtg_mass = Rtg::gphs_class().mass(load, Years::new(5.0));
-        let solar = PowerDesign::size_default(load, CircularOrbit::reference_leo(), Years::new(5.0));
+        let solar =
+            PowerDesign::size_default(load, CircularOrbit::reference_leo(), Years::new(5.0));
         assert!(
             rtg_mass > solar.mass() * 3.0,
             "RTG {rtg_mass} vs solar {}",

@@ -1,12 +1,11 @@
 //! Solar-array sizing with BOL/EOL degradation and eclipse oversizing.
 
-use serde::{Deserialize, Serialize};
 use sudc_orbital::constants::SOLAR_FLUX;
 use sudc_orbital::CircularOrbit;
 use sudc_units::{Kilograms, SquareMeters, Watts, Years};
 
 /// Photovoltaic cell technology.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SolarCellTech {
     /// Triple-junction GaAs (the modern spacecraft default).
     TripleJunctionGaAs,
@@ -51,7 +50,7 @@ pub const BATTERY_ROUND_TRIP_EFFICIENCY: f64 = 0.90;
 pub const ARRAY_DERATE: f64 = 0.90;
 
 /// A sized solar array.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SolarArray {
     /// Cell technology.
     pub tech: SolarCellTech,
@@ -113,9 +112,8 @@ impl SolarArray {
         let sun_factor = ((1.0 - f) + f / BATTERY_ROUND_TRIP_EFFICIENCY) / (1.0 - f);
         let degradation = (1.0 - tech.annual_degradation()).powf(lifetime.value());
         let bol_power = eol_load * (sun_factor / degradation);
-        let area = SquareMeters::new(
-            bol_power.value() / (SOLAR_FLUX * tech.efficiency() * ARRAY_DERATE),
-        );
+        let area =
+            SquareMeters::new(bol_power.value() / (SOLAR_FLUX * tech.efficiency() * ARRAY_DERATE));
         let mass = Kilograms::new(bol_power.value() / tech.specific_power());
         Self {
             tech,
@@ -177,7 +175,12 @@ mod tests {
     #[test]
     fn degraded_power_meets_load_at_eol() {
         let load = Watts::from_kilowatts(4.0);
-        let a = SolarArray::size(load, leo(), Years::new(5.0), SolarCellTech::TripleJunctionGaAs);
+        let a = SolarArray::size(
+            load,
+            leo(),
+            Years::new(5.0),
+            SolarCellTech::TripleJunctionGaAs,
+        );
         let eol_sun_power = a.power_after(Years::new(5.0));
         let f = leo().eclipse_fraction();
         let needed = load * (((1.0 - f) + f / BATTERY_ROUND_TRIP_EFFICIENCY) / (1.0 - f));
@@ -187,7 +190,12 @@ mod tests {
     #[test]
     fn silicon_arrays_are_heavier_and_bigger() {
         let load = Watts::from_kilowatts(2.0);
-        let gaas = SolarArray::size(load, leo(), Years::new(5.0), SolarCellTech::TripleJunctionGaAs);
+        let gaas = SolarArray::size(
+            load,
+            leo(),
+            Years::new(5.0),
+            SolarCellTech::TripleJunctionGaAs,
+        );
         let si = SolarArray::size(load, leo(), Years::new(5.0), SolarCellTech::Silicon);
         assert!(si.mass > gaas.mass);
         assert!(si.area > gaas.area);
@@ -201,8 +209,16 @@ mod tests {
             Years::new(5.0),
             SolarCellTech::TripleJunctionGaAs,
         );
-        assert!(a.area.value() > 15.0 && a.area.value() < 30.0, "area {}", a.area);
-        assert!(a.mass.value() > 50.0 && a.mass.value() < 110.0, "mass {}", a.mass);
+        assert!(
+            a.area.value() > 15.0 && a.area.value() < 30.0,
+            "area {}",
+            a.area
+        );
+        assert!(
+            a.mass.value() > 50.0 && a.mass.value() < 110.0,
+            "mass {}",
+            a.mass
+        );
     }
 
     proptest! {

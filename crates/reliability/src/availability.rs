@@ -6,11 +6,21 @@
 //! available at time `t` iff at least `k` nodes survive — a binomial tail
 //! in the per-node survival probability `p(t) = e^(−t/T)`.
 
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use sudc_par::rng::Rng64;
+
+/// Default seed for the Monte-Carlo cross-validations (Figs. 24–25 and the
+/// sparing simulator). Callers and tests that want "the reference run"
+/// should pass this so reports are reproducible builds.
+pub const DEFAULT_MC_SEED: u64 = 0x5bdc_2025;
+
+/// Trials per RNG block. Trials are partitioned into fixed-size blocks,
+/// each with an RNG stream derived from `(seed, block index)`, so the
+/// estimate is **bit-identical at every thread count** — parallelism only
+/// changes which thread runs a block, never the draws inside it.
+const TRIAL_BLOCK: u32 = 1024;
 
 /// A pool of `nodes` identical servers of which `required` must work.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct NodePool {
     /// Installed node count `n` (spares included).
     pub nodes: u32,
@@ -97,19 +107,54 @@ impl NodePool {
     }
 
     /// Monte-Carlo estimate of availability at `t` (cross-validates the
-    /// analytic binomial form).
+    /// analytic binomial form, Fig. 24).
+    ///
+    /// Trials run in parallel on the workspace executor, partitioned into
+    /// fixed-size blocks whose RNG streams derive only from `(seed, block
+    /// index)` — the estimate is bit-identical at every thread count, and
+    /// identical seeds give identical estimates across runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trials` is zero.
     #[must_use]
-    pub fn simulate_availability<R: Rng>(self, t_over_mttf: f64, trials: u32, rng: &mut R) -> f64 {
+    pub fn simulate_availability(self, t_over_mttf: f64, trials: u32, seed: u64) -> f64 {
+        assert!(trials > 0, "need at least one trial");
         let p = Self::node_survival(t_over_mttf);
-        let mut hits = 0u32;
-        for _ in 0..trials {
-            let alive = (0..self.nodes).filter(|_| rng.gen::<f64>() < p).count() as u32;
-            if alive >= self.required {
-                hits += 1;
-            }
-        }
-        f64::from(hits) / f64::from(trials)
+        let blocks: Vec<(u64, u32)> = block_sizes(trials)
+            .into_iter()
+            .enumerate()
+            .map(|(b, size)| (b as u64, size))
+            .collect();
+        let hits = sudc_par::par_reduce(
+            &blocks,
+            || 0u64,
+            |acc, _, &(block, size)| {
+                let mut rng = Rng64::stream(seed, block);
+                let mut hits = 0u64;
+                for _ in 0..size {
+                    let alive = (0..self.nodes).filter(|_| rng.next_f64() < p).count() as u32;
+                    if alive >= self.required {
+                        hits += 1;
+                    }
+                }
+                acc + hits
+            },
+            |a, b| a + b,
+        );
+        hits as f64 / f64::from(trials)
     }
+}
+
+/// Splits `trials` into [`TRIAL_BLOCK`]-sized blocks (last one short).
+pub(crate) fn block_sizes(trials: u32) -> Vec<u32> {
+    let full = trials / TRIAL_BLOCK;
+    let rest = trials % TRIAL_BLOCK;
+    let mut sizes = vec![TRIAL_BLOCK; full as usize];
+    if rest > 0 {
+        sizes.push(rest);
+    }
+    sizes
 }
 
 /// Binomial PMF `P[X = j]`, computed in log space for stability.
@@ -147,8 +192,6 @@ fn ln_factorial(n: u32) -> f64 {
 mod tests {
     use super::*;
     use proptest::prelude::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn paper_99_percent_degradation_times() {
@@ -202,21 +245,58 @@ mod tests {
         let base = NodePool::new(10, 10);
         let over = NodePool::new(30, 10);
         for t in [0.1, 0.5, 1.0, 1.5, 2.0] {
-            assert!(over.expected_capacity(t) > base.expected_capacity(t), "t={t}");
+            assert!(
+                over.expected_capacity(t) > base.expected_capacity(t),
+                "t={t}"
+            );
         }
     }
 
     #[test]
     fn monte_carlo_agrees_with_analytic() {
         let pool = NodePool::new(20, 10);
-        let mut rng = StdRng::seed_from_u64(42);
         for t in [0.3, 0.8, 1.3] {
             let analytic = pool.availability(t);
-            let mc = pool.simulate_availability(t, 20_000, &mut rng);
+            let mc = pool.simulate_availability(t, 20_000, DEFAULT_MC_SEED);
             assert!(
                 (analytic - mc).abs() < 0.02,
                 "t={t}: analytic {analytic} vs MC {mc}"
             );
+        }
+    }
+
+    #[test]
+    fn monte_carlo_is_bit_identical_at_every_thread_count() {
+        // The Fig. 24 cross-validation must not depend on the machine: the
+        // per-block RNG streams derive only from (seed, block index).
+        let pool = NodePool::new(20, 10);
+        let reference = pool.simulate_availability(0.8, 10_000, 7);
+        for workers in [1usize, 2, 3, 8] {
+            sudc_par::set_threads(workers);
+            let got = pool.simulate_availability(0.8, 10_000, 7);
+            sudc_par::set_threads(0);
+            assert!(
+                (got - reference).abs() == 0.0,
+                "workers={workers}: {got} != {reference}"
+            );
+        }
+    }
+
+    #[test]
+    fn monte_carlo_is_reproducible_per_seed_and_sensitive_to_it() {
+        let pool = NodePool::new(30, 10);
+        let a = pool.simulate_availability(1.0, 5_000, 1);
+        let b = pool.simulate_availability(1.0, 5_000, 1);
+        let c = pool.simulate_availability(1.0, 5_000, 2);
+        assert_eq!(a, b, "same seed must reproduce exactly");
+        assert_ne!(a, c, "different seeds must explore different trials");
+    }
+
+    #[test]
+    fn trial_blocks_cover_all_trials() {
+        for trials in [1u32, 1023, 1024, 1025, 20_000] {
+            let total: u32 = block_sizes(trials).iter().sum();
+            assert_eq!(total, trials);
         }
     }
 

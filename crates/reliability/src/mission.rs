@@ -7,11 +7,12 @@
 //! spare curves. This module quantifies that with a discrete-event
 //! Monte-Carlo simulation.
 
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use sudc_par::rng::Rng64;
+
+use crate::availability::block_sizes;
 
 /// How spares are held before activation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum SparingPolicy {
     /// All nodes powered from launch; failures consume the margin
     /// (Fig. 24's model).
@@ -26,7 +27,7 @@ pub enum SparingPolicy {
 }
 
 /// A mission configuration for the simulator.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MissionConfig {
     /// Installed nodes.
     pub nodes: u32,
@@ -39,7 +40,7 @@ pub struct MissionConfig {
 }
 
 /// Simulation outcome statistics.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MissionOutcome {
     /// Fraction of trials with full capability at end of mission.
     pub full_capability_probability: f64,
@@ -55,12 +56,16 @@ pub struct MissionOutcome {
 /// spare (if any) is promoted. Under cold sparing, dormant units consume
 /// life at `dormant_aging` of the powered rate until promoted.
 ///
+/// Trials are partitioned into fixed-size blocks whose RNG streams derive
+/// only from `(seed, block index)` and run in parallel on the workspace
+/// executor — the outcome is bit-identical at every thread count.
+///
 /// # Panics
 ///
 /// Panics if `required` is zero or exceeds `nodes`, `duration` is not
 /// positive, or `trials` is zero.
 #[must_use]
-pub fn simulate<R: Rng>(config: MissionConfig, trials: u32, rng: &mut R) -> MissionOutcome {
+pub fn simulate(config: MissionConfig, trials: u32, seed: u64) -> MissionOutcome {
     assert!(config.required > 0, "must require at least one node");
     assert!(
         config.required <= config.nodes,
@@ -82,15 +87,41 @@ pub fn simulate<R: Rng>(config: MissionConfig, trials: u32, rng: &mut R) -> Miss
         }
     };
 
-    let mut full_at_end = 0u32;
+    let blocks = block_sizes(trials);
+    // Per-block partials in parallel, then a serial fold in block order:
+    // float addition is not associative, so the summation tree must not
+    // depend on the thread count.
+    let partials = sudc_par::par_map(&blocks, |block, &size| {
+        let mut rng = Rng64::stream(seed, block as u64);
+        simulate_block(config, dormant_aging, size, &mut rng)
+    });
+    let (full_at_end, full_time_sum, final_capacity_sum) =
+        partials.into_iter().fold((0u64, 0.0f64, 0.0f64), |a, b| {
+            (a.0 + b.0, a.1 + b.1, a.2 + b.2)
+        });
+
+    MissionOutcome {
+        full_capability_probability: full_at_end as f64 / f64::from(trials),
+        mean_full_capability_time: full_time_sum / f64::from(trials),
+        mean_final_capacity: final_capacity_sum / f64::from(trials),
+    }
+}
+
+/// Simulates one block of trials, returning
+/// `(trials at full capability, Σ full-capability fraction, Σ final capacity)`.
+fn simulate_block(
+    config: MissionConfig,
+    dormant_aging: f64,
+    trials: u32,
+    rng: &mut Rng64,
+) -> (u64, f64, f64) {
+    let mut full_at_end = 0u64;
     let mut full_time_sum = 0.0;
     let mut final_capacity_sum = 0.0;
 
     for _ in 0..trials {
         // Each node's total life budget, in powered-time units.
-        let mut life: Vec<f64> = (0..config.nodes)
-            .map(|_| -rng.gen::<f64>().max(f64::MIN_POSITIVE).ln())
-            .collect();
+        let mut life: Vec<f64> = (0..config.nodes).map(|_| rng.next_exp()).collect();
         // First `required` start powered, the rest dormant.
         let mut powered: Vec<usize> = (0..config.required as usize).collect();
         let mut dormant: Vec<usize> = (config.required as usize..config.nodes as usize).collect();
@@ -141,23 +172,13 @@ pub fn simulate<R: Rng>(config: MissionConfig, trials: u32, rng: &mut R) -> Miss
         final_capacity_sum += powered.len().min(config.required as usize) as f64;
     }
 
-    MissionOutcome {
-        full_capability_probability: f64::from(full_at_end) / f64::from(trials),
-        mean_full_capability_time: full_time_sum / f64::from(trials),
-        mean_final_capacity: final_capacity_sum / f64::from(trials),
-    }
+    (full_at_end, full_time_sum, final_capacity_sum)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::availability::NodePool;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
-
-    fn rng() -> StdRng {
-        StdRng::seed_from_u64(2024)
-    }
+    use crate::availability::{NodePool, DEFAULT_MC_SEED};
 
     fn config(nodes: u32, policy: SparingPolicy) -> MissionConfig {
         MissionConfig {
@@ -170,7 +191,7 @@ mod tests {
 
     #[test]
     fn hot_sparing_matches_the_analytic_binomial_model() {
-        let outcome = simulate(config(20, SparingPolicy::Hot), 40_000, &mut rng());
+        let outcome = simulate(config(20, SparingPolicy::Hot), 40_000, DEFAULT_MC_SEED);
         let analytic = NodePool::new(20, 10).availability(0.5);
         assert!(
             (outcome.full_capability_probability - analytic).abs() < 0.02,
@@ -182,11 +203,11 @@ mod tests {
     #[test]
     fn cold_sparing_beats_hot_sparing() {
         // The paper's powered-off spares age less -> higher availability.
-        let hot = simulate(config(20, SparingPolicy::Hot), 30_000, &mut rng());
+        let hot = simulate(config(20, SparingPolicy::Hot), 30_000, DEFAULT_MC_SEED);
         let cold = simulate(
             config(20, SparingPolicy::Cold { dormant_aging: 0.1 }),
             30_000,
-            &mut rng(),
+            DEFAULT_MC_SEED,
         );
         assert!(
             cold.full_capability_probability > hot.full_capability_probability + 0.02,
@@ -201,12 +222,12 @@ mod tests {
         let some_aging = simulate(
             config(20, SparingPolicy::Cold { dormant_aging: 0.3 }),
             30_000,
-            &mut rng(),
+            DEFAULT_MC_SEED,
         );
         let no_aging = simulate(
             config(20, SparingPolicy::Cold { dormant_aging: 0.0 }),
             30_000,
-            &mut rng(),
+            DEFAULT_MC_SEED,
         );
         assert!(
             no_aging.full_capability_probability >= some_aging.full_capability_probability - 0.01
@@ -215,18 +236,29 @@ mod tests {
 
     #[test]
     fn more_spares_always_help() {
-        let small = simulate(config(12, SparingPolicy::Hot), 30_000, &mut rng());
-        let large = simulate(config(30, SparingPolicy::Hot), 30_000, &mut rng());
+        let small = simulate(config(12, SparingPolicy::Hot), 30_000, DEFAULT_MC_SEED);
+        let large = simulate(config(30, SparingPolicy::Hot), 30_000, DEFAULT_MC_SEED);
         assert!(large.full_capability_probability > small.full_capability_probability);
         assert!(large.mean_final_capacity >= small.mean_final_capacity);
     }
 
     #[test]
     fn outcomes_are_probabilities() {
-        let o = simulate(config(15, SparingPolicy::Hot), 5_000, &mut rng());
+        let o = simulate(config(15, SparingPolicy::Hot), 5_000, DEFAULT_MC_SEED);
         assert!((0.0..=1.0).contains(&o.full_capability_probability));
         assert!((0.0..=1.0).contains(&o.mean_full_capability_time));
         assert!(o.mean_final_capacity <= 10.0);
+    }
+
+    #[test]
+    fn outcome_is_bit_identical_at_every_thread_count() {
+        let reference = simulate(config(20, SparingPolicy::Hot), 8_000, 3);
+        for workers in [1usize, 2, 5, 8] {
+            sudc_par::set_threads(workers);
+            let got = simulate(config(20, SparingPolicy::Hot), 8_000, 3);
+            sudc_par::set_threads(0);
+            assert_eq!(got, reference, "workers={workers}");
+        }
     }
 
     #[test]
@@ -235,7 +267,7 @@ mod tests {
         let _ = simulate(
             config(15, SparingPolicy::Cold { dormant_aging: 2.0 }),
             10,
-            &mut rng(),
+            DEFAULT_MC_SEED,
         );
     }
 }

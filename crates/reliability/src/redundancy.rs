@@ -6,11 +6,10 @@
 //! power-generation and thermal subsystem cost; software redundancy is
 //! nearly free.
 
-use serde::{Deserialize, Serialize};
 use sudc_units::Watts;
 
 /// A reliability scheme for the compute payload.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum RedundancyScheme {
     /// No redundancy: raw COTS hardware.
     #[default]

@@ -9,14 +9,13 @@
 //! majority of single-bit upsets, this is a hard lower bound, which is why
 //! a 20 % software-hardening overhead is conservative.
 
-use serde::Serialize;
 use sudc_compute::networks::NetworkId;
 
 /// Bits per parameter (FP16 deployment).
 const BITS_PER_PARAM: f64 = 16.0;
 
 /// An ImageNet classifier evaluated under soft errors.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ImageNetModel {
     /// The underlying network.
     pub network: NetworkId,
@@ -104,7 +103,10 @@ mod tests {
     fn bigger_networks_are_more_vulnerable() {
         // VGG-16's ~138M parameters absorb more upsets than ResNet-50's 25M.
         let suite = imagenet_suite();
-        let vgg = suite.iter().find(|m| m.network == NetworkId::Vgg16).unwrap();
+        let vgg = suite
+            .iter()
+            .find(|m| m.network == NetworkId::Vgg16)
+            .unwrap();
         let resnet = suite
             .iter()
             .find(|m| m.network == NetworkId::ResNet50)

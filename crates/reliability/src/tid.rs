@@ -5,11 +5,10 @@
 //! reports the paper cites (NASA GSFC / REDW campaigns); parts reported
 //! with "no failures" carry the highest dose actually tested.
 
-use serde::Serialize;
 use sudc_units::KradSi;
 
 /// One radiation-test result for a commercial processor.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct TidRecord {
     /// Processor name.
     pub name: &'static str,

@@ -7,12 +7,10 @@
 //! module re-derives the Fig. 24/25 quantities under a shape parameter so
 //! the overprovisioning conclusions can be stress-tested.
 
-use serde::{Deserialize, Serialize};
-
 use crate::availability::{binomial_pmf, binomial_tail_at_least};
 
 /// A Weibull lifetime distribution parameterized to preserve the mean.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WeibullLifetime {
     /// Shape parameter `k` (> 0): `< 1` infant mortality, `1` exponential,
     /// `> 1` wear-out.

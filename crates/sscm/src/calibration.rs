@@ -7,13 +7,12 @@
 //! least squares in log space (the standard CER regression form,
 //! `ln cost = ln a + b·ln driver`).
 
-use serde::Serialize;
 use sudc_units::Usd;
 
 use crate::cer::Cer;
 
 /// One observed data point.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Observation {
     /// Driver value (mass, power, data rate, …).
     pub driver: f64,
@@ -22,7 +21,7 @@ pub struct Observation {
 }
 
 /// The result of a CER fit.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CerFit {
     /// The fitted CER (referenced at the geometric-mean driver).
     pub cer: Cer,
@@ -144,7 +143,11 @@ mod tests {
             o.cost = o.cost * noise;
         }
         let fit = fit_cer(&obs);
-        assert!((fit.cer.exponent - 0.5).abs() < 0.1, "exp {}", fit.cer.exponent);
+        assert!(
+            (fit.cer.exponent - 0.5).abs() < 0.1,
+            "exp {}",
+            fit.cer.exponent
+        );
         assert!(fit.r_squared > 0.9);
     }
 

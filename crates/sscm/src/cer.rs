@@ -6,11 +6,10 @@
 //! coefficient interpretable: `base` is the cost at the reference design
 //! and `exponent` is the scaling elasticity found by regression.
 
-use serde::{Deserialize, Serialize};
 use sudc_units::Usd;
 
 /// A normalized power-law cost-estimating relationship.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Cer {
     /// Cost at the reference driver value.
     pub base: Usd,

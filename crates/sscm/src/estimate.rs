@@ -5,13 +5,12 @@
 //! while the total cost of each subsequent satellite is given by RE costs
 //! alone."
 
-use serde::{Deserialize, Serialize};
 use sudc_units::Usd;
 
 use crate::subsystems::Subsystem;
 
 /// One subsystem's estimated costs.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SubsystemCost {
     /// Which subsystem.
     pub subsystem: Subsystem,
@@ -30,7 +29,7 @@ impl SubsystemCost {
 }
 
 /// A complete satellite cost estimate.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CostEstimate {
     items: Vec<SubsystemCost>,
 }
@@ -64,7 +63,10 @@ impl CostEstimate {
     /// Cost line for one subsystem, if present.
     #[must_use]
     pub fn cost_of(&self, subsystem: Subsystem) -> Option<SubsystemCost> {
-        self.items.iter().copied().find(|i| i.subsystem == subsystem)
+        self.items
+            .iter()
+            .copied()
+            .find(|i| i.subsystem == subsystem)
     }
 
     /// Total non-recurring cost.

@@ -4,11 +4,10 @@
 //! from a SµDC design via the physics substrates (power, thermal, comms,
 //! orbital); they can also be constructed directly for what-if studies.
 
-use serde::{Deserialize, Serialize};
 use sudc_units::{GigabitsPerSecond, Kilograms, Usd, Watts, Years};
 
 /// Driver parameters for one satellite cost estimate.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SscmInputs {
     /// Design lifetime.
     pub lifetime: Years,

@@ -5,14 +5,13 @@
 //! the headline results actually lean on. This module perturbs one driver
 //! at a time and reports the first-unit-cost swing.
 
-use serde::Serialize;
 use sudc_units::Usd;
 
 use crate::inputs::SscmInputs;
 use crate::subsystems::SubsystemCers;
 
 /// The perturbable driver parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Driver {
     /// Beginning-of-life power.
     BolPower,
@@ -86,7 +85,7 @@ impl core::fmt::Display for Driver {
 }
 
 /// One tornado bar: the cost swing from perturbing a driver.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct SensitivityBar {
     /// The perturbed driver.
     pub driver: Driver,
@@ -116,23 +115,23 @@ pub fn tornado(
         "perturbation must be in (0, 1), got {perturbation}"
     );
     let nominal = cers.estimate(inputs).first_unit();
-    let mut bars: Vec<SensitivityBar> = Driver::all()
-        .into_iter()
-        .map(|driver| {
-            let low = cers
-                .estimate(&driver.apply(inputs, 1.0 - perturbation))
-                .first_unit();
-            let high = cers
-                .estimate(&driver.apply(inputs, 1.0 + perturbation))
-                .first_unit();
-            SensitivityBar {
-                driver,
-                low,
-                high,
-                relative_swing: (high - low).abs() / nominal,
-            }
-        })
-        .collect();
+    // Each driver's low/high re-estimate is independent: fan out on the
+    // workspace executor; the stable sort below keeps report order
+    // deterministic regardless of thread count.
+    let mut bars: Vec<SensitivityBar> = sudc_par::par_map(&Driver::all(), |_, &driver| {
+        let low = cers
+            .estimate(&driver.apply(inputs, 1.0 - perturbation))
+            .first_unit();
+        let high = cers
+            .estimate(&driver.apply(inputs, 1.0 + perturbation))
+            .first_unit();
+        SensitivityBar {
+            driver,
+            low,
+            high,
+            relative_swing: (high - low).abs() / nominal,
+        }
+    });
     bars.sort_by(|a, b| {
         b.relative_swing
             .partial_cmp(&a.relative_swing)

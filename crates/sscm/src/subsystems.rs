@@ -8,7 +8,6 @@
 //! RE costs increase with lifetime, as additional reliability features are
 //! required").
 
-use serde::{Deserialize, Serialize};
 use sudc_units::{Usd, Years};
 
 use crate::cer::Cer;
@@ -16,7 +15,7 @@ use crate::estimate::{CostEstimate, SubsystemCost};
 use crate::inputs::SscmInputs;
 
 /// Satellite cost elements reported by the model.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Subsystem {
     /// Bus structure and mechanisms.
     Structure,
@@ -78,7 +77,7 @@ impl core::fmt::Display for Subsystem {
 }
 
 /// A subsystem's NRE and RE CER pair.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CerPair {
     /// Non-recurring (design, qualification, prototype) CER.
     pub nre: Cer,
@@ -105,7 +104,7 @@ impl CerPair {
 }
 
 /// The full SSCM-SµDC CER set.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SubsystemCers {
     /// Structure: driven by structure mass.
     pub structure: CerPair,
@@ -185,13 +184,43 @@ impl SubsystemCers {
         let adcs_driver = inputs.dry_mass.value() * pointing_weight;
 
         let mut items = vec![
-            Self::item(Subsystem::Structure, self.structure, inputs.structure_mass.value(), factor),
-            Self::item(Subsystem::Thermal, self.thermal, inputs.thermal_mass.value(), factor),
-            Self::item(Subsystem::Power, self.power, inputs.bol_power.value(), factor),
+            Self::item(
+                Subsystem::Structure,
+                self.structure,
+                inputs.structure_mass.value(),
+                factor,
+            ),
+            Self::item(
+                Subsystem::Thermal,
+                self.thermal,
+                inputs.thermal_mass.value(),
+                factor,
+            ),
+            Self::item(
+                Subsystem::Power,
+                self.power,
+                inputs.bol_power.value(),
+                factor,
+            ),
             Self::item(Subsystem::Adcs, self.adcs, adcs_driver, factor),
-            Self::item(Subsystem::Propulsion, self.propulsion, inputs.wet_mass().value(), factor),
-            Self::item(Subsystem::Cdh, self.cdh, inputs.rf_equivalent_rate.value(), factor),
-            Self::item(Subsystem::Ttc, self.ttc, inputs.rf_equivalent_rate.value(), factor),
+            Self::item(
+                Subsystem::Propulsion,
+                self.propulsion,
+                inputs.wet_mass().value(),
+                factor,
+            ),
+            Self::item(
+                Subsystem::Cdh,
+                self.cdh,
+                inputs.rf_equivalent_rate.value(),
+                factor,
+            ),
+            Self::item(
+                Subsystem::Ttc,
+                self.ttc,
+                inputs.rf_equivalent_rate.value(),
+                factor,
+            ),
             SubsystemCost {
                 subsystem: Subsystem::ComputePayload,
                 nre: (self.payload_nre_base
@@ -199,7 +228,12 @@ impl SubsystemCers {
                     * factor,
                 re: inputs.compute_hardware_cost,
             },
-            Self::item(Subsystem::IntegrationAndTest, self.iat, inputs.dry_mass.value(), factor),
+            Self::item(
+                Subsystem::IntegrationAndTest,
+                self.iat,
+                inputs.dry_mass.value(),
+                factor,
+            ),
         ];
 
         let nre_subtotal: Usd = items.iter().map(|i| i.nre).sum();
@@ -265,7 +299,10 @@ mod tests {
         let power_ratio = scaled.cost_of(Subsystem::Power).unwrap().total()
             / base.cost_of(Subsystem::Power).unwrap().total();
         // Sublinear: 6.9x power -> NRE x2.6, RE x5.2, blended ~3.5x.
-        assert!(power_ratio > 2.5 && power_ratio < 4.5, "ratio {power_ratio}");
+        assert!(
+            power_ratio > 2.5 && power_ratio < 4.5,
+            "ratio {power_ratio}"
+        );
     }
 
     #[test]

@@ -5,11 +5,10 @@
 //! ratios are historically strong — `b ∈ [0.7, 0.8]` — which is what makes
 //! distributed constellations of small SµDCs cheaper than monoliths.
 
-use serde::{Deserialize, Serialize};
 use sudc_units::Usd;
 
 /// A Wright's-law learning curve.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LearningCurve {
     /// Progress ratio `b`: cost multiplier per production doubling.
     pub progress_ratio: f64,

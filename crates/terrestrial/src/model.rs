@@ -1,9 +1,7 @@
 //! Terrestrial TCO category breakdowns.
 
-use serde::{Deserialize, Serialize};
-
 /// TCO cost categories, aligned with Fig. 11's legend.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum CostCategory {
     /// Server hardware (capex, amortized).
     Servers,
@@ -50,7 +48,7 @@ impl core::fmt::Display for CostCategory {
 
 /// A terrestrial datacenter TCO model: a named category breakdown plus the
 /// set of categories that shrink as compute energy efficiency improves.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TerrestrialModel {
     /// Model name (source attribution).
     pub name: &'static str,
@@ -173,10 +171,7 @@ impl TerrestrialModel {
     /// Sum of the shares that scale with compute energy efficiency.
     #[must_use]
     pub fn scalable_share(&self) -> f64 {
-        self.efficiency_scaled
-            .iter()
-            .map(|&c| self.share(c))
-            .sum()
+        self.efficiency_scaled.iter().map(|&c| self.share(c)).sum()
     }
 
     /// Checks that shares sum to 1 within tolerance.

@@ -6,12 +6,10 @@
 //! energy efficient than baseline costs 3× more money" — which makes
 //! terrestrial TCO *increase dramatically* while SµDC TCO keeps falling.
 
-use serde::{Deserialize, Serialize};
-
 use crate::model::{CostCategory, TerrestrialModel};
 
 /// Hardware-price response to energy-efficiency improvements.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum PriceScaling {
     /// Hardware price does not change with efficiency (Fig. 15).
     #[default]

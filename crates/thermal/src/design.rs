@@ -5,7 +5,6 @@
 //! pump power, and total subsystem mass — the quantities the SSCM-SµDC cost
 //! model consumes.
 
-use serde::{Deserialize, Serialize};
 use sudc_units::{Kelvin, Kilograms, SquareMeters, Watts};
 
 use crate::heatpump::HeatPump;
@@ -16,7 +15,7 @@ use crate::radiator::Radiator;
 const PUMP_LOOP_SPECIFIC_MASS: f64 = 0.015;
 
 /// A sized thermal subsystem.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ThermalDesign {
     /// Heat load the subsystem absorbs from the payload and bus.
     pub heat_load: Watts,

@@ -8,12 +8,11 @@
 //! Performance (CoP), which, in turn, is determined by radiator and ambient
 //! temperatures."
 
-use serde::{Deserialize, Serialize};
 use sudc_units::{Kelvin, Watts};
 
 /// A vapor-compression (or equivalent) heat pump lifting heat from the
 /// electronics loop to the radiator loop.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HeatPump {
     /// Achieved fraction of the Carnot CoP, in (0, 1].
     pub carnot_fraction: f64,
@@ -108,7 +107,10 @@ mod tests {
     fn passive_sink_needs_no_power() {
         let pump = HeatPump::spacecraft_default();
         let cold_sink = Kelvin::from_celsius(0.0);
-        assert_eq!(pump.pump_power(Watts::from_kilowatts(4.0), cold_sink), Watts::ZERO);
+        assert_eq!(
+            pump.pump_power(Watts::from_kilowatts(4.0), cold_sink),
+            Watts::ZERO
+        );
         assert!(pump.cop(cold_sink).is_infinite());
     }
 

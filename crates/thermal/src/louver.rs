@@ -7,13 +7,12 @@
 //! idles, a fixed panel overcools and heater power must make up the
 //! difference.
 
-use serde::{Deserialize, Serialize};
 use sudc_units::{Kelvin, Watts};
 
 use crate::radiator::Radiator;
 
 /// A radiator whose emissivity modulates between two states.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct VariableEmissivityRadiator {
     /// Underlying panel (its `emissivity` field is the *high* state).
     pub panel: Radiator,
@@ -131,7 +130,10 @@ mod tests {
         let with_laver = v.cold_case_heater_power(idle, t);
         // A fixed high-e panel leaks its full emitted power.
         let fixed_leak = panel().emitted_power(t) - idle;
-        assert!(with_laver < fixed_leak * 0.3, "heater {with_laver} vs fixed {fixed_leak}");
+        assert!(
+            with_laver < fixed_leak * 0.3,
+            "heater {with_laver} vs fixed {fixed_leak}"
+        );
     }
 
     #[test]
@@ -140,7 +142,10 @@ mod tests {
         // Idle load that exceeds even the low-state leak.
         let t = Kelvin::from_celsius(0.0);
         let leak = v.emitted_low(t);
-        assert_eq!(v.cold_case_heater_power(leak + Watts::new(1.0), t), Watts::ZERO);
+        assert_eq!(
+            v.cold_case_heater_power(leak + Watts::new(1.0), t),
+            Watts::ZERO
+        );
     }
 
     #[test]

@@ -1,6 +1,5 @@
 //! Stefan–Boltzmann radiator model (paper Eq. 1 and Fig. 12).
 
-use serde::{Deserialize, Serialize};
 use sudc_orbital::constants::{SPACE_BACKGROUND_K, STEFAN_BOLTZMANN};
 use sudc_units::{Kelvin, Kilograms, KilogramsPerSquareMeter, SquareMeters, Watts};
 
@@ -15,7 +14,7 @@ pub const DEFAULT_AREAL_MASS: KilogramsPerSquareMeter = KilogramsPerSquareMeter:
 ///
 /// `P = ε σ A_eff (T⁴ − T_bg⁴)` with `A_eff = faces × panel area` and the
 /// 2.7 K space background (negligible but kept for fidelity).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Radiator {
     /// Panel area (one face).
     pub area: SquareMeters,

@@ -32,7 +32,7 @@
 /// Defines an `f64`-backed quantity newtype with standard arithmetic.
 ///
 /// The generated type derives the common traits (`Copy`, `Clone`, ordering,
-/// `Debug`, `Default`, serde) and implements:
+/// `Debug`, `Default`) and implements:
 ///
 /// - `Add`, `Sub`, `Neg`, `Sum` between like quantities,
 /// - `Mul<f64>` / `Div<f64>` scaling (both directions for `Mul`),
@@ -54,17 +54,7 @@
 macro_rules! quantity {
     ($(#[$meta:meta])* $name:ident, $unit:literal) => {
         $(#[$meta])*
-        #[derive(
-            Debug,
-            Clone,
-            Copy,
-            PartialEq,
-            PartialOrd,
-            Default,
-            ::serde::Serialize,
-            ::serde::Deserialize,
-        )]
-        #[serde(transparent)]
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
         pub struct $name(f64);
 
         impl $name {
@@ -590,11 +580,12 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip_is_transparent() {
+    fn json_roundtrip_is_transparent() {
+        // Quantities serialize as their bare value (no wrapper object).
         let w = Watts::new(123.5);
-        let json = serde_json::to_string(&w).unwrap();
+        let json = sudc_par::json::Json::Num(w.value()).to_string_compact();
         assert_eq!(json, "123.5");
-        let back: Watts = serde_json::from_str(&json).unwrap();
+        let back = Watts::new(json.parse().unwrap());
         assert_eq!(back, w);
     }
 

@@ -24,7 +24,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         SystemArchitecture::PerLayerAccelerator,
     ];
     for arch in archs {
-        println!("  {:26} {:6.1}x", arch.to_string(), outcome.mean_improvement(arch));
+        println!(
+            "  {:26} {:6.1}x",
+            arch.to_string(),
+            outcome.mean_improvement(arch)
+        );
     }
 
     println!("\n== Per-network best accelerators ==");
@@ -48,7 +52,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .isl_typical()
         .build()?
         .tco()?;
-    println!("  Commodity GPU            : {:.1} $M", gpu_tco.total().as_millions());
+    println!(
+        "  Commodity GPU            : {:.1} $M",
+        gpu_tco.total().as_millions()
+    );
     for arch in archs {
         let factor = outcome.mean_improvement(arch);
         // Accelerators trade FLOPs/$ for FLOPs/W: assume 3x pricier silicon.

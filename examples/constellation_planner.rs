@@ -6,8 +6,8 @@
 //! cargo run --example constellation_planner
 //! ```
 
-use space_udc::constellation::{EdgeFiltering, EoConstellation};
 use space_udc::compute::workloads;
+use space_udc::constellation::{EdgeFiltering, EoConstellation};
 use space_udc::core::analysis::fleet;
 use space_udc::core::design::SuDcDesign;
 use space_udc::units::Watts;
@@ -35,14 +35,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Collaborative compute: cloud filtering on the EO satellites discards
     // ~2/3 of frames before they cross the ISL.
     let filtering = EdgeFiltering::cloud_filtering();
-    let baseline = SuDcDesign::builder().compute_power(four_kw).build()?.tco()?;
+    let baseline = SuDcDesign::builder()
+        .compute_power(four_kw)
+        .build()?
+        .tco()?;
     let reduced = SuDcDesign::builder()
         .compute_power(filtering.reduced_compute(four_kw))
         .build()?
         .tco()?;
     println!("\n== Collaborative compute constellation (cloud filtering) ==");
-    println!("  baseline SµDC TCO : {:.1} $M", baseline.total().as_millions());
-    println!("  filtered SµDC TCO : {:.1} $M", reduced.total().as_millions());
+    println!(
+        "  baseline SµDC TCO : {:.1} $M",
+        baseline.total().as_millions()
+    );
+    println!(
+        "  filtered SµDC TCO : {:.1} $M",
+        reduced.total().as_millions()
+    );
     println!(
         "  improvement       : {:.2}x",
         baseline.total() / reduced.total()

@@ -6,12 +6,11 @@
 //! cargo run --release --example fleet_operations
 //! ```
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use space_udc::comms::downlink::{InsightDownlink, InsightKind};
 use space_udc::compute::workloads;
 use space_udc::constellation::packing::pack_fleet;
 use space_udc::constellation::EoConstellation;
+use space_udc::reliability::availability::DEFAULT_MC_SEED;
 use space_udc::reliability::mission::{simulate, MissionConfig, SparingPolicy};
 use space_udc::units::Watts;
 
@@ -57,7 +56,6 @@ fn main() {
     );
 
     println!("\n== Fleet availability over a 5-year mission (cold spares) ==");
-    let mut rng = StdRng::seed_from_u64(5);
     for spares in [0u32, 5, 10, 20] {
         let outcome = simulate(
             MissionConfig {
@@ -67,7 +65,7 @@ fn main() {
                 policy: SparingPolicy::Cold { dormant_aging: 0.1 },
             },
             20_000,
-            &mut rng,
+            DEFAULT_MC_SEED,
         );
         println!(
             "  {spares:>2} cold spares: P(full capability at EOL) = {:.3}, mean capacity {:.2}/10",

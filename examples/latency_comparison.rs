@@ -15,18 +15,18 @@ use space_udc::units::Seconds;
 fn main() {
     println!("== Bent-pipe vs in-space latency (3-station ground network) ==");
     for cmp in latency::latency_table(3) {
-        let bent = cmp
-            .bent_pipe
-            .map_or("downlink deficit".to_string(), |l| {
-                format!("{:5.1} h", l.value() / 3600.0)
-            });
+        let bent = cmp.bent_pipe.map_or("downlink deficit".to_string(), |l| {
+            format!("{:5.1} h", l.value() / 3600.0)
+        });
         println!(
             "  {:26} bent-pipe {:18} in-space {:5.1} min  ({})",
             cmp.workload,
             bent,
             cmp.in_space.value() / 60.0,
             cmp.speedup()
-                .map_or("bent pipe cannot keep up".into(), |s| format!("{s:.0}x faster")),
+                .map_or("bent pipe cannot keep up".into(), |s| format!(
+                    "{s:.0}x faster"
+                )),
         );
     }
 

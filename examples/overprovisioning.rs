@@ -5,26 +5,24 @@
 //! cargo run --example overprovisioning
 //! ```
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use space_udc::core::design::SuDcDesign;
-use space_udc::reliability::availability::NodePool;
+use space_udc::reliability::availability::{NodePool, DEFAULT_MC_SEED};
 use space_udc::units::Watts;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Ten powered servers; overprovision with 0/10/20 cold spares.
     println!("== Availability vs overprovisioning (10 powered servers) ==");
-    println!("{:>6} {:>14} {:>18} {:>14}", "n", "median degr.", "99% degradation", "MC check @1T");
-    let mut rng = StdRng::seed_from_u64(7);
+    println!(
+        "{:>6} {:>14} {:>18} {:>14}",
+        "n", "median degr.", "99% degradation", "MC check @1T"
+    );
     for n in [10u32, 15, 20, 30] {
         let pool = NodePool::new(n, 10);
         let median = pool.median_degradation_time();
         let p99 = pool.time_to_availability(0.01);
-        let mc = pool.simulate_availability(1.0, 50_000, &mut rng);
+        let mc = pool.simulate_availability(1.0, 50_000, DEFAULT_MC_SEED);
         let analytic = pool.availability(1.0);
-        println!(
-            "{n:>6} {median:>12.2} T {p99:>16.2} T {mc:>7.3}~{analytic:<.3}"
-        );
+        println!("{n:>6} {median:>12.2} T {p99:>16.2} T {mc:>7.3}~{analytic:<.3}");
     }
 
     // What do the spares cost? Nearly nothing: they draw no power, so only

@@ -20,15 +20,34 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  servers installed : {}", sized.payload_units);
     println!("  payload mass      : {:.0} kg", sized.payload_mass.value());
     println!("  ISL capacity      : {:.0} Gbit/s", sized.isl_rate.value());
-    println!("  radiator area     : {:.1} m²", sized.thermal.radiator_area().value());
-    println!("  heat-pump power   : {:.0} W", sized.thermal.pump_power.value());
-    println!("  BOL array power   : {:.1} kW", sized.power.bol_array_power().as_kilowatts());
-    println!("  dry / wet mass    : {:.0} / {:.0} kg", sized.dry_mass.value(), sized.wet_mass().value());
+    println!(
+        "  radiator area     : {:.1} m²",
+        sized.thermal.radiator_area().value()
+    );
+    println!(
+        "  heat-pump power   : {:.0} W",
+        sized.thermal.pump_power.value()
+    );
+    println!(
+        "  BOL array power   : {:.1} kW",
+        sized.power.bol_array_power().as_kilowatts()
+    );
+    println!(
+        "  dry / wet mass    : {:.0} / {:.0} kg",
+        sized.dry_mass.value(),
+        sized.wet_mass().value()
+    );
 
     let report = sized.tco();
     println!("\n== Total cost of ownership ==");
-    println!("  first unit        : {:.1} $M", report.total().as_millions());
-    println!("  marginal unit     : {:.1} $M", report.marginal_unit().as_millions());
+    println!(
+        "  first unit        : {:.1} $M",
+        report.total().as_millions()
+    );
+    println!(
+        "  marginal unit     : {:.1} $M",
+        report.marginal_unit().as_millions()
+    );
     println!("\n  breakdown:");
     for (line, cost) in report.lines() {
         println!(
@@ -47,7 +66,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!(
         "  compute hw share    : {:.2}% (paper: < 1%)",
-        100.0 * report.share(TcoLine::Satellite(space_udc::sscm::Subsystem::ComputePayload))
+        100.0
+            * report.share(TcoLine::Satellite(
+                space_udc::sscm::Subsystem::ComputePayload
+            ))
     );
     Ok(())
 }

@@ -30,7 +30,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             a.part_tolerance.value(),
             a.mission_dose.value(),
             a.margin,
-            if a.survives_with_margin(1.0) { "OK" } else { "FAILS" },
+            if a.survives_with_margin(1.0) {
+                "OK"
+            } else {
+                "FAILS"
+            },
         );
     }
 

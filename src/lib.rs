@@ -30,6 +30,9 @@
 /// Typed physical and economic quantities.
 pub use sudc_units as units;
 
+/// Scoped-thread parallel executor, deterministic RNG streams, and JSON.
+pub use sudc_par as par;
+
 /// Orbital-mechanics substrate (orbits, drag, rocket equation, radiation).
 pub use sudc_orbital as orbital;
 

@@ -79,8 +79,7 @@ fn constellation_feed_fits_the_provisioned_isl() {
 /// Monte-Carlo with hot sparing.
 #[test]
 fn three_availability_models_agree_at_the_exponential_point() {
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use space_udc::reliability::availability::DEFAULT_MC_SEED;
     let t = 0.7;
     let analytic = NodePool::new(20, 10).availability(t);
     let weibull = WeibullLifetime::exponential().availability(20, 10, t);
@@ -92,11 +91,14 @@ fn three_availability_models_agree_at_the_exponential_point() {
             policy: SparingPolicy::Hot,
         },
         40_000,
-        &mut StdRng::seed_from_u64(99),
+        DEFAULT_MC_SEED,
     )
     .full_capability_probability;
     assert!((analytic - weibull).abs() < 1e-12);
-    assert!((analytic - mc).abs() < 0.02, "analytic {analytic} vs MC {mc}");
+    assert!(
+        (analytic - mc).abs() < 0.02,
+        "analytic {analytic} vs MC {mc}"
+    );
 }
 
 /// The calibration fitter must recover the shipped power-subsystem CER from
@@ -130,11 +132,8 @@ fn per_layer_pipeline_keeps_up_with_the_constellation() {
     );
     // 64 EO satellites x ~4 frames/min effective, tiled into 224^2 tiles:
     // each 67 Mpixel frame is ~1340 tiles.
-    let frames_per_second = Imager::reference()
-        .frames_per_minute(CircularOrbit::reference_leo())
-        * 0.6
-        * 64.0
-        / 60.0;
+    let frames_per_second =
+        Imager::reference().frames_per_minute(CircularOrbit::reference_leo()) * 0.6 * 64.0 / 60.0;
     let tiles_per_frame = 67.0e6 / (224.0 * 224.0);
     let tile_rate = frames_per_second * tiles_per_frame;
     assert!(

@@ -1,8 +1,6 @@
 //! Integration tests for the toolkit's extension results (EXPERIMENTS.md's
 //! "Extensions" table).
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use space_udc::accel::dse::{run_dse, SystemArchitecture};
 use space_udc::accel::energy::EnergyTable;
 use space_udc::compute::precision::Precision;
@@ -10,6 +8,7 @@ use space_udc::compute::workloads;
 use space_udc::constellation::packing::pack_fleet;
 use space_udc::constellation::EoConstellation;
 use space_udc::core::analysis::tradespace::{paper_architectures, pareto_front, sweep};
+use space_udc::reliability::availability::DEFAULT_MC_SEED;
 use space_udc::reliability::mission::{simulate, MissionConfig, SparingPolicy};
 use space_udc::reliability::weibull::WeibullLifetime;
 use space_udc::units::Watts;
@@ -22,7 +21,9 @@ fn concurrent_packing_beats_per_app_sizing() {
     let suite = workloads::suite();
     let packing = pack_fleet(&constellation, &suite, Watts::from_kilowatts(4.0));
     let per_app_total: u32 = suite.iter().map(|w| w.sudcs_for_64_sats).sum();
-    assert!(packing.sudcs < per_app_total as usize / 2);
+    // Strictly fewer than half, without integer-division truncation on the
+    // right-hand side (13 / 2 == 6 would reject a genuine 6-vs-13 packing).
+    assert!(packing.sudcs * 2 < per_app_total as usize);
     assert!(packing.utilization() > 0.8);
 }
 
@@ -51,7 +52,6 @@ fn dse_gains_grow_as_precision_drops() {
 /// overprovisioning range.
 #[test]
 fn cold_sparing_dominates_hot_sparing() {
-    let mut rng = StdRng::seed_from_u64(77);
     for nodes in [15u32, 20, 30] {
         let hot = simulate(
             MissionConfig {
@@ -61,7 +61,7 @@ fn cold_sparing_dominates_hot_sparing() {
                 policy: SparingPolicy::Hot,
             },
             15_000,
-            &mut rng,
+            DEFAULT_MC_SEED,
         );
         let cold = simulate(
             MissionConfig {
@@ -71,7 +71,7 @@ fn cold_sparing_dominates_hot_sparing() {
                 policy: SparingPolicy::Cold { dormant_aging: 0.1 },
             },
             15_000,
-            &mut rng,
+            DEFAULT_MC_SEED,
         );
         assert!(
             cold.full_capability_probability >= hot.full_capability_probability,
@@ -112,7 +112,11 @@ fn pareto_front_is_accelerated() {
                 .expect("finite")
         })
         .unwrap();
-    assert!(best.architecture.contains("accelerator"), "{}", best.architecture);
+    assert!(
+        best.architecture.contains("accelerator"),
+        "{}",
+        best.architecture
+    );
 }
 
 /// Ext: beta-angle eclipse modeling — a dawn-dusk constellation would

@@ -23,7 +23,10 @@ fn kw(x: f64) -> Watts {
 fn claim_power_dominates_tco_sublinearly() {
     let points = sweeps::tco_vs_power(&[kw(0.5), kw(10.0)]).unwrap();
     let ratio = points[1].relative_tco;
-    assert!(ratio > 3.0, "0.5 -> 10 kW must exceed 3x (paper: 'over 3x'), got {ratio}");
+    assert!(
+        ratio > 3.0,
+        "0.5 -> 10 kW must exceed 3x (paper: 'over 3x'), got {ratio}"
+    );
     assert!(ratio < 4.0, "but stay under 4x for 20x power, got {ratio}");
 }
 
@@ -32,9 +35,19 @@ fn claim_power_dominates_tco_sublinearly() {
 #[test]
 fn claim_compute_cost_and_mass_are_insignificant() {
     for p in [kw(0.5), kw(4.0), kw(10.0)] {
-        let report = SuDcDesign::builder().compute_power(p).build().unwrap().tco().unwrap();
+        let report = SuDcDesign::builder()
+            .compute_power(p)
+            .build()
+            .unwrap()
+            .tco()
+            .unwrap();
         assert!(report.share(TcoLine::Satellite(Subsystem::ComputePayload)) < 0.01);
-        let sized = SuDcDesign::builder().compute_power(p).build().unwrap().size().unwrap();
+        let sized = SuDcDesign::builder()
+            .compute_power(p)
+            .build()
+            .unwrap()
+            .size()
+            .unwrap();
         assert!(sized.payload_mass / sized.wet_mass() < 0.25);
     }
 }
@@ -61,8 +74,9 @@ fn claim_flops_per_watt_beats_flops_per_dollar_in_space() {
     let rows = architecture::tco_vs_architecture(kw(4.0)).unwrap();
     let h100 = rows.iter().find(|r| r.hardware.name == "H100").unwrap();
     // Terrible FLOPs/$ (0.82x of 3090) but huge FLOPs/$TCO.
-    assert!(h100.hardware.flops_per_dollar().unwrap()
-        < rows[0].hardware.flops_per_dollar().unwrap());
+    assert!(
+        h100.hardware.flops_per_dollar().unwrap() < rows[0].hardware.flops_per_dollar().unwrap()
+    );
     assert!(h100.relative_flops_per_tco_dollar > 9.0);
 }
 
@@ -130,7 +144,11 @@ fn claim_distributed_vs_monolithic() {
         fleet::distributed_tco(kw(32.0), &[1, 2, 3, 4, 6, 8, 12, 16], &[0.65, 0.85]).unwrap();
     let optimistic = &series[0];
     assert!(optimistic.optimal_satellites > 4);
-    let best = optimistic.points.iter().map(|p| p.1).fold(f64::INFINITY, f64::min);
+    let best = optimistic
+        .points
+        .iter()
+        .map(|p| p.1)
+        .fold(f64::INFINITY, f64::min);
     assert!(best < 0.905, "optimistic best {best}");
     assert_eq!(series[1].optimal_satellites, 1, "pessimistic -> monolith");
 }
@@ -152,7 +170,12 @@ fn claim_overprovisioning_availability() {
 /// powered-off spares do not grow the power/thermal subsystems.
 #[test]
 fn claim_near_zero_cost_overprovisioning() {
-    let base = SuDcDesign::builder().compute_power(kw(4.0)).build().unwrap().tco().unwrap();
+    let base = SuDcDesign::builder()
+        .compute_power(kw(4.0))
+        .build()
+        .unwrap()
+        .tco()
+        .unwrap();
     let spared = SuDcDesign::builder()
         .compute_power(kw(4.0))
         .spares(20)
@@ -168,7 +191,12 @@ fn claim_near_zero_cost_overprovisioning() {
 /// terrestrial TCO.
 #[test]
 fn claim_power_vs_server_dominance() {
-    let report = SuDcDesign::builder().compute_power(kw(4.0)).build().unwrap().tco().unwrap();
+    let report = SuDcDesign::builder()
+        .compute_power(kw(4.0))
+        .build()
+        .unwrap()
+        .tco()
+        .unwrap();
     assert!(report.power_and_thermal_share() > 0.30);
     for model in TerrestrialModel::comparison_set() {
         assert!(model.share(CostCategory::Servers) > 0.5);
@@ -190,7 +218,10 @@ fn claim_efficiency_sensitivity_contrast() {
     let priced =
         architecture::efficiency_scaling(kw(4.0), &[1.0, 200.0], PriceScaling::Logarithmic)
             .unwrap();
-    assert!(priced[0].points[1].1 < 1.0, "space still improves with log pricing");
+    assert!(
+        priced[0].points[1].1 < 1.0,
+        "space still improves with log pricing"
+    );
     for terrestrial in &priced[1..] {
         assert!(terrestrial.points[1].1 > 2.0, "{}", terrestrial.label);
     }

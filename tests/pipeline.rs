@@ -19,11 +19,12 @@ fn sizing_closure_is_self_consistent() {
             + sized.power.mass()
             + sized.cdh.mass()
             + sized.structure_mass;
-        assert!(components < sized.dry_mass, "{p} kW: components exceed dry mass");
+        assert!(
+            components < sized.dry_mass,
+            "{p} kW: components exceed dry mass"
+        );
         // EOL load covers every consumer.
-        let consumers = sized.physical_compute_power
-            + sized.cdh.power()
-            + sized.thermal.pump_power;
+        let consumers = sized.physical_compute_power + sized.cdh.power() + sized.thermal.pump_power;
         assert!(sized.power.eol_load >= consumers, "{p} kW: load accounting");
         // The radiator rejects the full heat load plus pump work.
         let emitted = sized
@@ -41,7 +42,10 @@ fn sizing_closure_is_self_consistent() {
 fn sscm_inputs_from_sizing_always_validate() {
     for p in [0.5, 2.0, 4.0, 8.0, 10.0] {
         let sized = design(p).build().unwrap().size().unwrap();
-        sized.sscm_inputs().validate().expect("pipeline inputs are valid");
+        sized
+            .sscm_inputs()
+            .validate()
+            .expect("pipeline inputs are valid");
     }
 }
 
@@ -55,10 +59,11 @@ fn tco_lines_sum_to_total() {
 #[test]
 fn reports_serialize_to_json() {
     let report = design(4.0).build().unwrap().tco().unwrap();
-    let json = serde_json::to_string(&report).unwrap();
+    let json = report.to_json().to_string_pretty();
     assert!(json.contains("Power"));
+    assert!(json.contains("total_usd"));
     let sized = design(4.0).build().unwrap().size().unwrap();
-    let json = serde_json::to_string(&sized).unwrap();
+    let json = sized.to_json().to_string_compact();
     assert!(json.contains("dry_mass"));
 }
 
