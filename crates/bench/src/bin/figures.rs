@@ -16,7 +16,26 @@ use std::time::Instant;
 
 use sudc_bench::{all_experiments, run_experiment};
 
+/// Parses the `--jobs` argument: any positive integer is a thread count;
+/// everything else (including 0) is a configuration error.
+fn parse_jobs(arg: &str) -> Result<usize, String> {
+    match arg.trim().parse::<usize>() {
+        Ok(n) if n > 0 => Ok(n),
+        _ => Err(format!(
+            "--jobs must be a positive integer (got {arg:?}); \
+             use --jobs N with N >= 1 or drop the flag for automatic resolution"
+        )),
+    }
+}
+
 fn main() -> ExitCode {
+    // Fail fast on an invalid SUDC_THREADS (e.g. 0) rather than panicking
+    // mid-run or silently using a different thread count.
+    if let Err(e) = sudc_par::try_threads() {
+        eprintln!("{e}");
+        return ExitCode::FAILURE;
+    }
+
     let mut args: Vec<String> = std::env::args().skip(1).collect();
 
     // Optional: --out <dir> writes each report to <dir>/<id>.txt as well.
@@ -39,10 +58,10 @@ fn main() -> ExitCode {
         }
         let n = args.remove(pos + 1);
         args.remove(pos);
-        match n.parse::<usize>() {
-            Ok(n) if n > 0 => sudc_par::set_threads(n),
-            _ => {
-                eprintln!("--jobs needs a positive integer, got {n}");
+        match parse_jobs(&n) {
+            Ok(n) => sudc_par::set_threads(n),
+            Err(e) => {
+                eprintln!("{e}");
                 return ExitCode::FAILURE;
             }
         }
@@ -111,5 +130,27 @@ fn main() -> ExitCode {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_jobs;
+
+    #[test]
+    fn positive_jobs_parse() {
+        assert_eq!(parse_jobs("1"), Ok(1));
+        assert_eq!(parse_jobs(" 8 "), Ok(8));
+    }
+
+    #[test]
+    fn zero_and_garbage_jobs_error_with_a_clear_message() {
+        for bad in ["0", "-2", "four", ""] {
+            let err = parse_jobs(bad).unwrap_err();
+            assert!(
+                err.contains("--jobs must be a positive integer"),
+                "jobs {bad:?}: {err}"
+            );
+        }
     }
 }

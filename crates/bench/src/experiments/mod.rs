@@ -11,6 +11,7 @@ mod dse;
 mod extensions;
 mod fleet;
 mod reliability;
+mod sim;
 mod tables;
 
 pub use arch::{fig11, fig15, fig16, fig3, fig9};
@@ -20,6 +21,7 @@ pub use dse::fig17;
 pub use extensions::{ext_ablation, ext_latency, ext_precision, ext_sparing, ext_tornado};
 pub use fleet::{fig19, fig21, fig22, fig23};
 pub use reliability::{fig12, fig24, fig25, fig26, fig27, fig28};
+pub use sim::ext_sim;
 pub use tables::{table1, table2, table3};
 
 /// All experiment ids in paper order, with a one-line description.
@@ -65,6 +67,10 @@ pub fn all_experiments() -> Vec<(&'static str, &'static str)> {
         ("extC", "cost-driver tornado sensitivity (extension)"),
         ("extD", "design-choice ablations (extension)"),
         ("extE", "accelerator DSE vs numeric precision (extension)"),
+        (
+            "sim",
+            "dynamic operations DES: latency, backlog, availability (extension)",
+        ),
     ]
 }
 
@@ -104,6 +110,7 @@ pub fn run_experiment(id: &str) -> Option<String> {
         "extC" => ext_tornado(),
         "extD" => ext_ablation(),
         "extE" => ext_precision(),
+        "sim" => ext_sim(),
         _ => return None,
     };
     Some(report)

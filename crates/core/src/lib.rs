@@ -13,6 +13,8 @@
 //! - [`analysis`] — one function per paper figure/table (see `DESIGN.md`
 //!   for the experiment index);
 //! - [`scenario`] — the paper's named working configurations;
+//! - [`dynamics`] — the scenario → discrete-event-simulation bridge
+//!   consumed by `sudc-sim`;
 //! - [`report`] — markdown design-review generation.
 //!
 //! # Examples
@@ -34,6 +36,7 @@
 
 pub mod analysis;
 pub mod design;
+pub mod dynamics;
 pub mod report;
 pub mod scenario;
 pub mod tco;

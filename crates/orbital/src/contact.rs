@@ -9,7 +9,80 @@
 
 use sudc_units::{Gigabits, GigabitsPerSecond, Seconds};
 
+use crate::constants::R_EARTH;
 use crate::orbit::CircularOrbit;
+
+/// Deterministic single-pass geometry for a ground station with an
+/// elevation mask.
+///
+/// The Earth-central angle from the station to the edge of coverage at
+/// elevation `ε` is `λ = acos((R⊕/r) cos ε) − ε` (standard LEO coverage
+/// geometry); an overhead pass sweeps `2λ` of the orbit, so the maximum
+/// pass duration is `2λ / ω` with `ω` the orbital angular rate. Earth
+/// rotation over one LEO pass (< 0.1° of longitude per minute of pass) is
+/// neglected, keeping the model closed-form and deterministic — exactly
+/// what the discrete-event simulator needs for reproducible downlink
+/// windows.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PassGeometry {
+    /// The satellite's orbit.
+    pub orbit: CircularOrbit,
+    /// Minimum usable elevation above the horizon, in degrees `[0, 90]`.
+    pub min_elevation_deg: f64,
+}
+
+impl PassGeometry {
+    /// Creates a pass geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the elevation mask is outside `[0, 90]` degrees.
+    #[must_use]
+    pub fn new(orbit: CircularOrbit, min_elevation_deg: f64) -> Self {
+        assert!(
+            (0.0..=90.0).contains(&min_elevation_deg),
+            "elevation mask must be in [0, 90] degrees, got {min_elevation_deg}"
+        );
+        Self {
+            orbit,
+            min_elevation_deg,
+        }
+    }
+
+    /// Maximum Earth-central angle (radians) between station and satellite
+    /// while the satellite is above the elevation mask. Zero at a 90°
+    /// mask (only the zenith point qualifies); largest at the horizon.
+    #[must_use]
+    pub fn max_central_angle(&self) -> f64 {
+        let eps = self.min_elevation_deg.to_radians();
+        let ratio = R_EARTH / self.orbit.radius().value();
+        (ratio * eps.cos()).acos() - eps
+    }
+
+    /// Duration of an overhead (through-zenith) pass — the longest pass the
+    /// station can see. A 90° elevation mask yields a zero-duration pass.
+    #[must_use]
+    pub fn max_pass_duration(&self) -> Seconds {
+        let omega = 2.0 * std::f64::consts::PI / self.orbit.period().value();
+        Seconds::new(2.0 * self.max_central_angle() / omega)
+    }
+
+    /// Fraction of the orbit spent inside the station's coverage cone on an
+    /// overhead pass (`λ/π`).
+    #[must_use]
+    pub fn coverage_fraction(&self) -> f64 {
+        self.max_central_angle() / std::f64::consts::PI
+    }
+}
+
+/// Daily passes a *polar* ground station sees from a polar orbit: every
+/// revolution crosses the pole region, so the station gets one pass per
+/// orbit — the upper bound `passes_per_day` approximates for mid-latitude
+/// stations with the 0.28 visibility factor.
+#[must_use]
+pub fn polar_station_passes_per_day(orbit: CircularOrbit) -> f64 {
+    86_400.0 / orbit.period().value()
+}
 
 /// A ground-station network serving a LEO downlink.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -159,5 +232,72 @@ mod tests {
     #[should_panic(expected = "at least one station")]
     fn empty_network_panics() {
         let _ = GroundNetwork::commercial(0);
+    }
+
+    #[test]
+    fn zenith_only_mask_gives_a_zero_duration_pass() {
+        // ε = 90°: the coverage cone degenerates to the zenith point.
+        let g = PassGeometry::new(CircularOrbit::reference_leo(), 90.0);
+        assert!(g.max_central_angle().abs() < 1e-12);
+        assert!(g.max_pass_duration().value().abs() < 1e-9);
+        assert!(g.coverage_fraction().abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_duration_passes_put_any_production_in_deficit() {
+        // A network whose every pass has zero usable duration moves no
+        // data: mean_latency must report the deficit, not divide by zero.
+        let degenerate = GroundNetwork {
+            stations: 3,
+            pass_duration: Seconds::ZERO,
+            passes_per_station_per_day: 4.0,
+            downlink_rate: GigabitsPerSecond::new(0.5),
+        };
+        assert!((degenerate.daily_capacity().value()).abs() < 1e-12);
+        assert!(degenerate
+            .mean_latency(GigabitsPerSecond::new(1e-6), Gigabits::new(0.8))
+            .is_none());
+    }
+
+    #[test]
+    fn horizon_mask_matches_the_geometric_horizon_angle() {
+        // ε = 0 exactly: λ = acos(R⊕/r), the satellite's horizon circle.
+        let orbit = CircularOrbit::reference_leo();
+        let g = PassGeometry::new(orbit, 0.0);
+        let expected = (crate::constants::R_EARTH / orbit.radius().value()).acos();
+        assert!((g.max_central_angle() - expected).abs() < 1e-12);
+        // A horizon-to-horizon LEO pass lasts on the order of 10 minutes.
+        let minutes = g.max_pass_duration().value() / 60.0;
+        assert!(minutes > 5.0 && minutes < 20.0, "pass {minutes} min");
+    }
+
+    #[test]
+    fn tighter_elevation_masks_shorten_passes_monotonically() {
+        let orbit = CircularOrbit::reference_leo();
+        let mut last = f64::INFINITY;
+        for mask in [0.0, 5.0, 10.0, 30.0, 60.0, 89.0, 90.0] {
+            let d = PassGeometry::new(orbit, mask).max_pass_duration().value();
+            assert!(d < last, "mask {mask}: {d} !< {last}");
+            assert!(d >= 0.0);
+            last = d;
+        }
+    }
+
+    #[test]
+    fn polar_station_sees_every_orbit_of_a_polar_satellite() {
+        let orbit = CircularOrbit::reference_leo();
+        let passes = polar_station_passes_per_day(orbit);
+        let orbits = 86_400.0 / orbit.period().value();
+        assert!((passes - orbits).abs() < 1e-12);
+        // ~15 revolutions/day in LEO, and strictly more than the
+        // mid-latitude approximation in `passes_per_day`.
+        assert!(passes > 14.0 && passes < 17.0, "passes/day {passes}");
+        assert!(passes > passes_per_day(orbit));
+    }
+
+    #[test]
+    #[should_panic(expected = "elevation mask")]
+    fn negative_elevation_mask_panics() {
+        let _ = PassGeometry::new(CircularOrbit::reference_leo(), -1.0);
     }
 }

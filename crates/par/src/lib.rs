@@ -52,23 +52,77 @@ pub fn set_threads(n: usize) {
     THREAD_OVERRIDE.store(n, Ordering::Relaxed);
 }
 
+/// An invalid thread-count configuration (e.g. `SUDC_THREADS=0`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThreadConfigError(String);
+
+impl std::fmt::Display for ThreadConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ThreadConfigError {}
+
+/// Pure thread-count resolution: explicit override, then the value of the
+/// `SUDC_THREADS` environment variable (if set), then `fallback` (the
+/// machine's available parallelism). Always at least 1 on success.
+///
+/// # Errors
+///
+/// A set-but-invalid `SUDC_THREADS` (zero, negative, or non-numeric) is a
+/// configuration mistake, not a request for "auto": silently falling back
+/// would run a reproducibility experiment at the wrong thread count, so it
+/// is reported as an error instead.
+pub fn resolve_threads(
+    forced: usize,
+    env: Option<&str>,
+    fallback: usize,
+) -> Result<usize, ThreadConfigError> {
+    if forced > 0 {
+        return Ok(forced);
+    }
+    if let Some(v) = env {
+        return match v.trim().parse::<usize>() {
+            Ok(n) if n > 0 => Ok(n),
+            _ => Err(ThreadConfigError(format!(
+                "SUDC_THREADS must be a positive integer (got {v:?}); \
+                 unset it for automatic thread-count resolution"
+            ))),
+        };
+    }
+    Ok(fallback.max(1))
+}
+
+/// Fallible form of [`threads`]: resolves the worker-thread count from the
+/// override, the `SUDC_THREADS` environment variable, and available
+/// parallelism.
+///
+/// # Errors
+///
+/// Returns [`ThreadConfigError`] if `SUDC_THREADS` is set to anything other
+/// than a positive integer.
+pub fn try_threads() -> Result<usize, ThreadConfigError> {
+    let forced = THREAD_OVERRIDE.load(Ordering::Relaxed);
+    let env = std::env::var("SUDC_THREADS").ok();
+    let fallback = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    resolve_threads(forced, env.as_deref(), fallback)
+}
+
 /// Resolves the worker-thread count: explicit override, then the
 /// `SUDC_THREADS` environment variable, then available parallelism.
 /// Always at least 1.
+///
+/// # Panics
+///
+/// Panics with a clear message if `SUDC_THREADS` is set but not a positive
+/// integer — use [`try_threads`] to validate configuration up front.
 #[must_use]
 pub fn threads() -> usize {
-    let forced = THREAD_OVERRIDE.load(Ordering::Relaxed);
-    if forced > 0 {
-        return forced;
+    match try_threads() {
+        Ok(n) => n,
+        Err(e) => panic!("{e}"),
     }
-    if let Ok(v) = std::env::var("SUDC_THREADS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            if n > 0 {
-                return n;
-            }
-        }
-    }
-    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
 }
 
 /// Splits `len` items into at most `workers` contiguous chunks of
@@ -337,5 +391,35 @@ mod tests {
     #[test]
     fn threads_is_at_least_one() {
         assert!(threads() >= 1);
+    }
+
+    #[test]
+    fn resolve_threads_prefers_the_explicit_override() {
+        assert_eq!(resolve_threads(4, Some("2"), 8), Ok(4));
+        assert_eq!(resolve_threads(4, None, 8), Ok(4));
+    }
+
+    #[test]
+    fn resolve_threads_reads_the_environment_value() {
+        assert_eq!(resolve_threads(0, Some("3"), 8), Ok(3));
+        assert_eq!(resolve_threads(0, Some(" 5 "), 8), Ok(5));
+    }
+
+    #[test]
+    fn resolve_threads_falls_back_only_when_env_is_unset() {
+        assert_eq!(resolve_threads(0, None, 6), Ok(6));
+        assert_eq!(resolve_threads(0, None, 0), Ok(1));
+    }
+
+    #[test]
+    fn resolve_threads_rejects_invalid_env_instead_of_falling_back() {
+        for bad in ["0", "-1", "abc", "", "1.5"] {
+            let err = resolve_threads(0, Some(bad), 8).unwrap_err();
+            assert!(
+                err.to_string()
+                    .contains("SUDC_THREADS must be a positive integer"),
+                "env {bad:?}: {err}"
+            );
+        }
     }
 }

@@ -1,0 +1,306 @@
+//! Simulation configuration: the physical scenario quantized onto the
+//! integer-tick clock.
+//!
+//! A [`SimConfig`] is a pure description — building one does no work and
+//! draws no randomness. Configurations come from three places: the
+//! [`SimConfig::from_dynamic`] bridge (a [`DynamicScenario`] distilled by
+//! `sudc-core` from a named paper scenario), the
+//! [`SimConfig::reference_operations`] preset family used by the `sim`
+//! experiment and tests, and [`SimConfig::cold_spare_mission`] for
+//! mission-scale failure studies where the image pipeline is irrelevant.
+
+use sudc_constellation::EdgeFiltering;
+use sudc_core::dynamics::DynamicScenario;
+use sudc_core::Scenario;
+use sudc_units::Seconds;
+
+use crate::event::Tick;
+
+/// Complete configuration of one simulation run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimConfig {
+    /// Physical length of one tick, seconds.
+    pub tick_seconds: f64,
+    /// Run length in ticks.
+    pub duration_ticks: Tick,
+    /// Cadence of the periodic metrics sampler, ticks.
+    pub sample_interval_ticks: Tick,
+
+    /// EO satellites (0 = no image traffic, e.g. failure-only studies).
+    pub satellites: u32,
+    /// Mean interval between capture opportunities per satellite, ticks.
+    pub frame_interval_ticks: f64,
+    /// Orbit period driving the imaging on/off windows, ticks.
+    pub imaging_period_ticks: Tick,
+    /// Fraction of each orbit a satellite images, in [0, 1].
+    pub imaging_duty: f64,
+    /// Phase stagger across satellites, in [0, 1]: 0 aligns every
+    /// satellite's imaging window (maximum burstiness — the shared
+    /// daylight/land-mass pass of a real EO constellation), 1 spreads the
+    /// windows uniformly around the orbit.
+    pub phase_spread: f64,
+    /// Probability an image is discarded at the edge (collaborative
+    /// filtering), in [0, 1).
+    pub filtering: f64,
+
+    /// ISL transfer time for one raw image, ticks.
+    pub isl_transfer_ticks: f64,
+
+    /// Batch size the dispatcher accumulates toward.
+    pub batch_target: u32,
+    /// Force-dispatch a partial batch after this long, ticks.
+    pub batch_timeout_ticks: Tick,
+    /// Service time for one image on one node, ticks.
+    pub service_ticks_per_image: f64,
+
+    /// Installed compute nodes (spares included).
+    pub nodes: u32,
+    /// Nodes needed for full capability; also the max powered concurrency.
+    pub required: u32,
+    /// Powered-node mean time to failure, ticks (`f64::INFINITY` disables
+    /// the failure process).
+    pub mttf_ticks: f64,
+    /// Weibull shape of node lifetimes (1 = exponential).
+    pub weibull_shape: f64,
+    /// Aging rate of a dormant spare relative to a powered node, [0, 1].
+    pub dormant_aging: f64,
+
+    /// Gap between ground-contact window starts, ticks.
+    pub contact_gap_ticks: Tick,
+    /// Usable length of each contact window, ticks.
+    pub contact_window_ticks: Tick,
+    /// Downlink transmission time for one insight product, ticks.
+    pub downlink_transfer_ticks: f64,
+}
+
+impl SimConfig {
+    /// Quantizes a [`DynamicScenario`] onto a `tick_seconds` clock for a
+    /// run of `duration`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tick_seconds` or `duration` is not positive.
+    #[must_use]
+    pub fn from_dynamic(d: &DynamicScenario, tick_seconds: f64, duration: Seconds) -> Self {
+        assert!(
+            tick_seconds > 0.0 && tick_seconds.is_finite(),
+            "tick length must be positive, got {tick_seconds}"
+        );
+        assert!(duration.value() > 0.0, "duration must be positive");
+        let ticks = |s: f64| s / tick_seconds;
+        Self {
+            tick_seconds,
+            duration_ticks: ticks(duration.value()).ceil() as Tick,
+            sample_interval_ticks: (ticks(60.0).ceil() as Tick).max(1),
+            satellites: d.satellites,
+            frame_interval_ticks: ticks(d.frame_interval.value()),
+            imaging_period_ticks: (ticks(d.orbit_period.value()).round() as Tick).max(1),
+            imaging_duty: d.imaging_duty_cycle,
+            phase_spread: 0.25,
+            filtering: d.filtering.filtering_rate,
+            isl_transfer_ticks: ticks(d.image_size.value() / d.isl_rate.value()),
+            batch_target: d.batch_target,
+            batch_timeout_ticks: (ticks(d.batch_timeout.value()).round() as Tick).max(1),
+            service_ticks_per_image: ticks(d.per_image_service.value()),
+            nodes: d.nodes,
+            required: d.required,
+            mttf_ticks: ticks(d.node_mttf.value()),
+            weibull_shape: d.weibull_shape,
+            dormant_aging: d.dormant_aging,
+            contact_gap_ticks: (ticks(d.contact_gap.value()).round() as Tick).max(1),
+            contact_window_ticks: (ticks(d.contact_window.value()).round() as Tick).max(1),
+            downlink_transfer_ticks: ticks(d.insight_size.value() / d.downlink_rate.value()),
+        }
+    }
+
+    /// The paper's reference operations scenario: 64 EO satellites feeding
+    /// a 4 kW SµDC, 100 ms ticks, no node failures (the MTTF is years;
+    /// over an operations-scale run the failure process is irrelevant and
+    /// disabling it keeps the availability trace exactly 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the underlying design pipeline fails (never expected for
+    /// the built-in scenario).
+    #[must_use]
+    pub fn reference_operations(duration: Seconds) -> Self {
+        let d = DynamicScenario::from_scenario(Scenario::Reference, 64)
+            .expect("reference scenario must size");
+        let mut cfg = Self::from_dynamic(&d, 0.1, duration);
+        cfg.mttf_ticks = f64::INFINITY;
+        cfg
+    }
+
+    /// [`SimConfig::reference_operations`] with collaborative edge
+    /// filtering at the paper's cloud-filtering working point (§V).
+    #[must_use]
+    pub fn collaborative_operations(duration: Seconds) -> Self {
+        let mut cfg = Self::reference_operations(duration);
+        cfg.filtering = EdgeFiltering::cloud_filtering().filtering_rate;
+        cfg
+    }
+
+    /// A mission-scale failure study: `nodes` installed of which
+    /// `required` must be powered, cold spares aging at `dormant_aging`,
+    /// run for `duration_mttf` lifetimes. The image pipeline is off; ticks
+    /// are scaled so one MTTF is 100 000 ticks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `required` is zero or exceeds `nodes`, or
+    /// `duration_mttf` is not positive.
+    #[must_use]
+    pub fn cold_spare_mission(
+        nodes: u32,
+        required: u32,
+        dormant_aging: f64,
+        duration_mttf: f64,
+    ) -> Self {
+        assert!(required > 0, "at least one node must be required");
+        assert!(
+            required <= nodes,
+            "cannot require {required} of only {nodes} nodes"
+        );
+        assert!(
+            duration_mttf > 0.0 && duration_mttf.is_finite(),
+            "mission duration must be positive, got {duration_mttf}"
+        );
+        let mttf_ticks = 100_000.0;
+        let mttf_seconds = sudc_units::Years::new(2.0).to_seconds().value();
+        let tick_seconds = mttf_seconds / mttf_ticks;
+        let duration_ticks = (duration_mttf * mttf_ticks).ceil() as Tick;
+        Self {
+            tick_seconds,
+            duration_ticks,
+            sample_interval_ticks: duration_ticks.max(100) / 100,
+            satellites: 0,
+            frame_interval_ticks: 1.0,
+            imaging_period_ticks: 1,
+            imaging_duty: 0.0,
+            phase_spread: 1.0,
+            filtering: 0.0,
+            isl_transfer_ticks: 1.0,
+            batch_target: 1,
+            batch_timeout_ticks: 1,
+            service_ticks_per_image: 1.0,
+            nodes,
+            required,
+            mttf_ticks,
+            weibull_shape: 1.0,
+            dormant_aging,
+            contact_gap_ticks: 1,
+            contact_window_ticks: 1,
+            downlink_transfer_ticks: 0.0,
+        }
+    }
+
+    /// Checks internal consistency; the kernel calls this before running.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any invalid field combination, naming the field.
+    pub fn validate(&self) {
+        assert!(self.tick_seconds > 0.0, "tick_seconds must be positive");
+        assert!(self.duration_ticks > 0, "duration_ticks must be positive");
+        assert!(
+            self.sample_interval_ticks > 0,
+            "sample_interval_ticks must be positive"
+        );
+        assert!(
+            self.satellites == 0 || self.frame_interval_ticks > 0.0,
+            "frame_interval_ticks must be positive when satellites image"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.imaging_duty),
+            "imaging_duty must be in [0, 1]"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.phase_spread),
+            "phase_spread must be in [0, 1]"
+        );
+        assert!(
+            (0.0..1.0).contains(&self.filtering),
+            "filtering must be in [0, 1)"
+        );
+        assert!(self.batch_target > 0, "batch_target must be positive");
+        assert!(
+            self.service_ticks_per_image >= 0.0,
+            "service time must be non-negative"
+        );
+        assert!(self.required > 0, "required must be positive");
+        assert!(
+            self.required <= self.nodes,
+            "cannot require {} of {} nodes",
+            self.required,
+            self.nodes
+        );
+        assert!(
+            self.mttf_ticks > 0.0,
+            "mttf_ticks must be positive (use INFINITY to disable failures)"
+        );
+        assert!(
+            self.weibull_shape > 0.0 && self.weibull_shape.is_finite(),
+            "weibull_shape must be positive and finite"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.dormant_aging),
+            "dormant_aging must be in [0, 1]"
+        );
+        assert!(
+            self.contact_window_ticks <= self.contact_gap_ticks,
+            "contact window cannot exceed the gap between windows"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_operations_quantizes_sanely() {
+        let cfg = SimConfig::reference_operations(Seconds::new(3600.0));
+        cfg.validate();
+        assert_eq!(cfg.duration_ticks, 36_000);
+        assert_eq!(cfg.satellites, 64);
+        // ~6 frames/min at 0.1 s ticks -> ~100 ticks between frames.
+        assert!(cfg.frame_interval_ticks > 80.0 && cfg.frame_interval_ticks < 120.0);
+        // Failures disabled for operations runs.
+        assert!(cfg.mttf_ticks.is_infinite());
+        // Contact windows are minutes inside multi-hour gaps.
+        assert!(cfg.contact_window_ticks < cfg.contact_gap_ticks);
+    }
+
+    #[test]
+    fn collaborative_preset_only_changes_filtering() {
+        let base = SimConfig::reference_operations(Seconds::new(600.0));
+        let collab = SimConfig::collaborative_operations(Seconds::new(600.0));
+        assert!((collab.filtering - 2.0 / 3.0).abs() < 1e-12);
+        let mut neutral = collab;
+        neutral.filtering = base.filtering;
+        assert_eq!(neutral, base);
+    }
+
+    #[test]
+    fn cold_spare_mission_scales_one_mttf_to_1e5_ticks() {
+        let cfg = SimConfig::cold_spare_mission(20, 10, 0.1, 1.5);
+        cfg.validate();
+        assert_eq!(cfg.duration_ticks, 150_000);
+        assert_eq!(cfg.satellites, 0);
+        assert!((cfg.mttf_ticks - 100_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot require")]
+    fn impossible_pool_is_rejected() {
+        let _ = SimConfig::cold_spare_mission(5, 10, 0.1, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "contact window")]
+    fn oversized_contact_window_is_rejected() {
+        let mut cfg = SimConfig::reference_operations(Seconds::new(600.0));
+        cfg.contact_window_ticks = cfg.contact_gap_ticks + 1;
+        cfg.validate();
+    }
+}

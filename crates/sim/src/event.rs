@@ -1,0 +1,146 @@
+//! The discrete-event kernel's clock and event queue.
+//!
+//! Time is an integer tick count (`u64`); the physical length of a tick is
+//! a [`crate::config::SimConfig`] concern, not the kernel's. The queue is
+//! a binary heap keyed on `(tick, sequence)`: events at the same tick pop
+//! in the order they were pushed, so a run is a pure function of its
+//! configuration and seed — no hash-map iteration order, no wall clock,
+//! no thread interleaving anywhere in the hot loop.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Integer simulation time.
+pub type Tick = u64;
+
+/// Everything that can happen in the operations simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// Satellite `sat`'s next frame-capture opportunity.
+    Capture {
+        /// Index of the capturing satellite.
+        sat: u32,
+    },
+    /// The ISL finishes transferring the image at the head of its queue.
+    IslDone,
+    /// The batch dispatcher re-checks the queue because the image enqueued
+    /// at this event's scheduling time has reached its batching timeout.
+    BatchTimeout,
+    /// A compute node finishes the in-flight batch stored at `slot` in the
+    /// kernel's batch table (events are `Copy`, so the per-image capture
+    /// times live in the kernel, not the event).
+    BatchDone {
+        /// Kernel batch-table slot of the completed batch.
+        slot: u32,
+    },
+    /// Powered compute node `node` fails.
+    NodeFailure {
+        /// Index of the failing node.
+        node: u32,
+    },
+    /// A ground-contact window opens.
+    ContactStart,
+    /// The downlink finishes transmitting one insight product.
+    DownlinkDone,
+    /// Periodic metrics sampling point.
+    Sample,
+}
+
+/// A deterministic future-event list.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Reverse<(Tick, u64, EventEntry)>>,
+    sequence: u64,
+}
+
+/// Wrapper ordering events only by their `(tick, sequence)` key; the
+/// payload itself never influences ordering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct EventEntry(Event);
+
+impl Ord for EventEntry {
+    fn cmp(&self, _: &Self) -> std::cmp::Ordering {
+        std::cmp::Ordering::Equal
+    }
+}
+
+impl PartialOrd for EventEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `event` at `tick`. Events at equal ticks pop in push
+    /// order (FIFO).
+    pub fn push(&mut self, tick: Tick, event: Event) {
+        self.heap
+            .push(Reverse((tick, self.sequence, EventEntry(event))));
+        self.sequence += 1;
+    }
+
+    /// Pops the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(Tick, Event)> {
+        self.heap
+            .pop()
+            .map(|Reverse((tick, _, EventEntry(e)))| (tick, e))
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_tick_order() {
+        let mut q = EventQueue::new();
+        q.push(30, Event::IslDone);
+        q.push(10, Event::ContactStart);
+        q.push(20, Event::Sample);
+        assert_eq!(q.pop(), Some((10, Event::ContactStart)));
+        assert_eq!(q.pop(), Some((20, Event::Sample)));
+        assert_eq!(q.pop(), Some((30, Event::IslDone)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn same_tick_events_pop_in_push_order() {
+        let mut q = EventQueue::new();
+        for sat in 0..100 {
+            q.push(5, Event::Capture { sat });
+        }
+        for expected in 0..100 {
+            assert_eq!(q.pop(), Some((5, Event::Capture { sat: expected })));
+        }
+    }
+
+    #[test]
+    fn interleaved_pushes_and_pops_stay_ordered() {
+        let mut q = EventQueue::new();
+        q.push(2, Event::Sample);
+        q.push(1, Event::IslDone);
+        assert_eq!(q.pop(), Some((1, Event::IslDone)));
+        q.push(1, Event::ContactStart); // "past" tick still pops first
+        assert_eq!(q.pop(), Some((1, Event::ContactStart)));
+        assert_eq!(q.pop(), Some((2, Event::Sample)));
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,524 @@
+//! The single-run simulation kernel: one seeded, single-threaded,
+//! deterministic pass over the event queue.
+//!
+//! The modeled pipeline follows the paper's operations story end to end:
+//! EO satellites capture frames inside per-orbit imaging windows, edge
+//! filtering discards a configured fraction on the capturing satellite,
+//! survivors cross the ISL (a single FIFO server), a batch dispatcher
+//! accumulates them toward the energy-optimal batch size (with a staleness
+//! timeout), powered compute nodes serve whole batches, each processed
+//! frame emits an insight product that waits for the next ground-contact
+//! window, and a failure process retires powered nodes and promotes cold
+//! spares that aged at the dormant rate while waiting.
+//!
+//! Determinism: the only randomness is [`Rng64`] streams keyed by
+//! `(seed, entity)`; every state change happens inside the event loop;
+//! events at equal ticks pop in push order. Two runs with the same
+//! [`SimConfig`] and seed produce identical [`RunTrace`]s, bit for bit.
+
+use std::collections::VecDeque;
+
+use sudc_par::rng::Rng64;
+use sudc_reliability::weibull::WeibullLifetime;
+
+use crate::config::SimConfig;
+use crate::event::{Event, EventQueue, Tick};
+use crate::metrics::RunTrace;
+
+/// Stream index base for per-satellite RNG streams (stream `sat`).
+const SAT_STREAM_BASE: u64 = 0;
+/// Stream index base for per-node lifetime streams.
+const NODE_STREAM_BASE: u64 = 1_000_000;
+
+/// Rounds a positive tick duration up, never below one tick.
+fn duration_ticks(x: f64) -> Tick {
+    debug_assert!(x >= 0.0);
+    (x.ceil() as Tick).max(1)
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum NodeState {
+    PoweredAlive,
+    Dead,
+    Spare,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct QueuedImage {
+    capture: Tick,
+    enqueued: Tick,
+}
+
+/// Runs one simulation to completion and returns its trace.
+///
+/// # Panics
+///
+/// Panics if `cfg` fails [`SimConfig::validate`].
+#[must_use]
+pub fn run(cfg: &SimConfig, seed: u64) -> RunTrace {
+    cfg.validate();
+    Kernel::new(cfg, seed).run()
+}
+
+struct Kernel<'a> {
+    cfg: &'a SimConfig,
+    queue: EventQueue,
+    now: Tick,
+
+    // Arrival process.
+    sat_rngs: Vec<Rng64>,
+    sat_phases: Vec<Tick>,
+
+    // ISL: single FIFO server; `isl_current` is the capture tick of the
+    // image in transfer.
+    isl_busy: bool,
+    isl_current: Tick,
+    isl_queue: VecDeque<Tick>,
+
+    // Batch dispatcher and compute pool.
+    batch_queue: VecDeque<QueuedImage>,
+    in_flight: Vec<Option<Vec<Tick>>>,
+    free_slots: Vec<u32>,
+    busy_nodes: u32,
+
+    // Node health.
+    node_states: Vec<NodeState>,
+    spares: VecDeque<(u32, f64)>,
+    powered_alive: u32,
+
+    // Downlink: single FIFO server active only inside contact windows.
+    // Insights are far smaller than a tick's worth of link capacity, so
+    // each transmission drains a *group*; `dl_group` holds the capture
+    // ticks of the insights in flight.
+    dl_busy: bool,
+    dl_group: Vec<Tick>,
+    downlink_queue: VecDeque<Tick>,
+
+    trace: RunTrace,
+}
+
+impl<'a> Kernel<'a> {
+    fn new(cfg: &'a SimConfig, seed: u64) -> Self {
+        let sat_rngs = (0..cfg.satellites)
+            .map(|s| Rng64::stream(seed, SAT_STREAM_BASE + u64::from(s)))
+            .collect();
+        // Imaging-window phase offsets: spread 0 aligns every window
+        // (bursty shared ground-track pass), spread 1 staggers uniformly.
+        let sat_phases = (0..cfg.satellites)
+            .map(|s| {
+                let frac = if cfg.satellites > 1 {
+                    f64::from(s) / f64::from(cfg.satellites)
+                } else {
+                    0.0
+                };
+                (cfg.phase_spread * frac * cfg.imaging_period_ticks as f64).round() as Tick
+            })
+            .collect();
+        let mut kernel = Self {
+            cfg,
+            queue: EventQueue::new(),
+            now: 0,
+            sat_rngs,
+            sat_phases,
+            isl_busy: false,
+            isl_current: 0,
+            isl_queue: VecDeque::new(),
+            batch_queue: VecDeque::new(),
+            in_flight: Vec::new(),
+            free_slots: Vec::new(),
+            busy_nodes: 0,
+            node_states: Vec::new(),
+            spares: VecDeque::new(),
+            powered_alive: 0,
+            dl_busy: false,
+            dl_group: Vec::new(),
+            downlink_queue: VecDeque::new(),
+            trace: RunTrace::new(cfg),
+        };
+        kernel.seed_initial_events(seed);
+        kernel
+    }
+
+    fn seed_initial_events(&mut self, seed: u64) {
+        for sat in 0..self.cfg.satellites {
+            let dt = self.capture_interval(sat as usize);
+            self.queue.push(dt, Event::Capture { sat });
+        }
+
+        // Node pool: the first `required` nodes power on, the rest wait as
+        // cold spares in index order. Lifetimes are Weibull in MTTF units.
+        let lifetime = WeibullLifetime::with_unit_mean(self.cfg.weibull_shape);
+        for node in 0..self.cfg.nodes {
+            let life = if self.cfg.mttf_ticks.is_finite() {
+                let mut rng = Rng64::stream(seed, NODE_STREAM_BASE + u64::from(node));
+                let u = rng.next_f64();
+                lifetime.scale * (-(1.0 - u).max(f64::MIN_POSITIVE).ln()).powf(1.0 / lifetime.shape)
+            } else {
+                f64::INFINITY
+            };
+            if node < self.cfg.required {
+                self.node_states.push(NodeState::PoweredAlive);
+                self.powered_alive += 1;
+                if life.is_finite() {
+                    self.queue.push(
+                        duration_ticks(life * self.cfg.mttf_ticks),
+                        Event::NodeFailure { node },
+                    );
+                }
+            } else {
+                self.node_states.push(NodeState::Spare);
+                self.spares.push_back((node, life));
+            }
+        }
+
+        self.queue.push(0, Event::ContactStart);
+        self.queue
+            .push(self.cfg.sample_interval_ticks, Event::Sample);
+    }
+
+    fn run(mut self) -> RunTrace {
+        while let Some((tick, event)) = self.queue.pop() {
+            if tick > self.cfg.duration_ticks {
+                break;
+            }
+            self.trace.advance_to(
+                tick,
+                self.busy_nodes,
+                self.batch_queue.len(),
+                self.downlink_queue.len(),
+                self.powered_alive >= self.cfg.required,
+            );
+            self.now = tick;
+            match event {
+                Event::Capture { sat } => self.on_capture(sat),
+                Event::IslDone => self.on_isl_done(),
+                Event::BatchTimeout => self.try_dispatch(),
+                Event::BatchDone { slot } => self.on_batch_done(slot),
+                Event::NodeFailure { node } => self.on_node_failure(node),
+                Event::ContactStart => self.on_contact_start(),
+                Event::DownlinkDone => self.on_downlink_done(),
+                Event::Sample => self.on_sample(),
+            }
+        }
+        self.trace.finish(
+            self.cfg.duration_ticks,
+            self.busy_nodes,
+            self.batch_queue.len(),
+            self.downlink_queue.len(),
+            self.powered_alive >= self.cfg.required,
+        );
+        self.trace
+    }
+
+    /// Ticks until satellite `sat`'s next capture opportunity (Poisson
+    /// process at the imaging-mode frame rate; thinned to the window by
+    /// the caller).
+    fn capture_interval(&mut self, sat: usize) -> Tick {
+        let draw = self.sat_rngs[sat].next_exp() * self.cfg.frame_interval_ticks;
+        duration_ticks(draw)
+    }
+
+    fn imaging_window_open(&self, sat: usize) -> bool {
+        let period = self.cfg.imaging_period_ticks;
+        let phase = (self.now + self.sat_phases[sat]) % period;
+        (phase as f64) < self.cfg.imaging_duty * period as f64
+    }
+
+    fn on_capture(&mut self, sat: u32) {
+        let s = sat as usize;
+        if self.imaging_window_open(s) {
+            self.trace.captured += 1;
+            if self.sat_rngs[s].next_f64() < self.cfg.filtering {
+                self.trace.filtered_out += 1;
+            } else {
+                self.offer_to_isl(self.now);
+            }
+        }
+        let dt = self.capture_interval(s);
+        self.queue.push(self.now + dt, Event::Capture { sat });
+    }
+
+    fn offer_to_isl(&mut self, capture: Tick) {
+        self.trace.arrived += 1;
+        if self.isl_busy {
+            self.isl_queue.push_back(capture);
+        } else {
+            self.isl_busy = true;
+            self.isl_current = capture;
+            self.queue.push(
+                self.now + duration_ticks(self.cfg.isl_transfer_ticks),
+                Event::IslDone,
+            );
+        }
+    }
+
+    fn on_isl_done(&mut self) {
+        let capture = self.isl_current;
+        self.batch_queue.push_back(QueuedImage {
+            capture,
+            enqueued: self.now,
+        });
+        self.trace.note_batch_queue_len(self.batch_queue.len());
+        self.queue
+            .push(self.now + self.cfg.batch_timeout_ticks, Event::BatchTimeout);
+        if let Some(next) = self.isl_queue.pop_front() {
+            self.isl_current = next;
+            self.queue.push(
+                self.now + duration_ticks(self.cfg.isl_transfer_ticks),
+                Event::IslDone,
+            );
+        } else {
+            self.isl_busy = false;
+        }
+        self.try_dispatch();
+    }
+
+    /// Active compute concurrency: powered healthy nodes, capped by the
+    /// power budget.
+    fn capacity(&self) -> u32 {
+        self.powered_alive.min(self.cfg.required)
+    }
+
+    fn try_dispatch(&mut self) {
+        loop {
+            if self.busy_nodes >= self.capacity() || self.batch_queue.is_empty() {
+                return;
+            }
+            let full = self.batch_queue.len() >= self.cfg.batch_target as usize;
+            let stale = self
+                .batch_queue
+                .front()
+                .is_some_and(|img| img.enqueued + self.cfg.batch_timeout_ticks <= self.now);
+            if !full && !stale {
+                return;
+            }
+            let size = self.batch_queue.len().min(self.cfg.batch_target as usize);
+            let captures: Vec<Tick> = self
+                .batch_queue
+                .drain(..size)
+                .map(|img| img.capture)
+                .collect();
+            if !full {
+                self.trace.timeout_batches += 1;
+            }
+            self.trace.batches += 1;
+            let slot = match self.free_slots.pop() {
+                Some(slot) => {
+                    self.in_flight[slot as usize] = Some(captures);
+                    slot
+                }
+                None => {
+                    self.in_flight.push(Some(captures));
+                    (self.in_flight.len() - 1) as u32
+                }
+            };
+            let service = duration_ticks(size as f64 * self.cfg.service_ticks_per_image);
+            self.queue
+                .push(self.now + service, Event::BatchDone { slot });
+            self.busy_nodes += 1;
+        }
+    }
+
+    fn on_batch_done(&mut self, slot: u32) {
+        let captures = self.in_flight[slot as usize]
+            .take()
+            .expect("BatchDone for an empty slot");
+        self.free_slots.push(slot);
+        self.busy_nodes -= 1;
+        for capture in captures {
+            self.trace.processed += 1;
+            self.trace.record_processing_latency(self.now - capture);
+            self.downlink_queue.push_back(capture);
+        }
+        self.trace
+            .note_downlink_queue_len(self.downlink_queue.len());
+        self.try_downlink();
+        self.try_dispatch();
+    }
+
+    fn in_contact(&self, tick: Tick) -> bool {
+        tick % self.cfg.contact_gap_ticks < self.cfg.contact_window_ticks
+    }
+
+    /// Ticks of contact remaining at `tick` (0 outside a window).
+    fn contact_remaining(&self, tick: Tick) -> Tick {
+        let into = tick % self.cfg.contact_gap_ticks;
+        self.cfg.contact_window_ticks.saturating_sub(into)
+    }
+
+    fn on_contact_start(&mut self) {
+        self.queue
+            .push(self.now + self.cfg.contact_gap_ticks, Event::ContactStart);
+        self.try_downlink();
+    }
+
+    fn try_downlink(&mut self) {
+        if self.dl_busy || self.downlink_queue.is_empty() || !self.in_contact(self.now) {
+            return;
+        }
+        // A transmission must finish inside the current window; whatever
+        // does not fit waits for the next pass. Insights are tiny relative
+        // to per-tick link capacity, so one transmission drains as many as
+        // the remaining window holds.
+        let per_insight = self.cfg.downlink_transfer_ticks;
+        let remaining = self.contact_remaining(self.now) as f64;
+        let fit = if per_insight > 0.0 {
+            (remaining / per_insight).floor() as usize
+        } else {
+            usize::MAX
+        };
+        let count = self.downlink_queue.len().min(fit);
+        if count == 0 {
+            return;
+        }
+        self.dl_group.extend(self.downlink_queue.drain(..count));
+        self.dl_busy = true;
+        let transfer = duration_ticks(count as f64 * per_insight);
+        self.queue.push(self.now + transfer, Event::DownlinkDone);
+    }
+
+    fn on_downlink_done(&mut self) {
+        for capture in std::mem::take(&mut self.dl_group) {
+            self.trace.delivered += 1;
+            self.trace.record_delivery_latency(self.now - capture);
+        }
+        self.dl_busy = false;
+        self.try_downlink();
+    }
+
+    fn on_node_failure(&mut self, node: u32) {
+        debug_assert_eq!(self.node_states[node as usize], NodeState::PoweredAlive);
+        self.node_states[node as usize] = NodeState::Dead;
+        self.powered_alive -= 1;
+        self.trace.failures += 1;
+        // Promote the oldest cold spare whose dormant aging has not already
+        // consumed its life. Dormant time ages at `dormant_aging` of the
+        // powered rate, and promotion spends whatever life remains.
+        while let Some((spare, life)) = self.spares.pop_front() {
+            let dormant_consumed = self.cfg.dormant_aging * (self.now as f64 / self.cfg.mttf_ticks);
+            let remaining = life - dormant_consumed;
+            if remaining <= 0.0 {
+                self.node_states[spare as usize] = NodeState::Dead;
+                self.trace.dormant_deaths += 1;
+                continue;
+            }
+            self.node_states[spare as usize] = NodeState::PoweredAlive;
+            self.powered_alive += 1;
+            self.trace.promotions += 1;
+            self.queue.push(
+                self.now + duration_ticks(remaining * self.cfg.mttf_ticks),
+                Event::NodeFailure { node: spare },
+            );
+            break;
+        }
+        // Lost capacity never cancels in-flight batches (they complete on
+        // the failing node's redundant pair); new dispatches see the
+        // reduced capacity via `capacity()`.
+        self.try_dispatch();
+    }
+
+    fn on_sample(&mut self) {
+        let oldest = self
+            .oldest_unfinished_capture()
+            .map(|capture| self.now - capture);
+        self.trace.record_backlog_sample(
+            self.isl_queue.len() + usize::from(self.isl_busy),
+            self.batch_queue.len(),
+            self.downlink_queue.len() + self.dl_group.len(),
+            oldest,
+        );
+        self.queue
+            .push(self.now + self.cfg.sample_interval_ticks, Event::Sample);
+    }
+
+    /// Capture tick of the oldest image still in the pipeline (excluding
+    /// images inside a compute batch, whose completion is already
+    /// scheduled).
+    fn oldest_unfinished_capture(&self) -> Option<Tick> {
+        let mut oldest: Option<Tick> = None;
+        let mut consider = |t: Tick| {
+            oldest = Some(oldest.map_or(t, |o| o.min(t)));
+        };
+        if self.isl_busy {
+            consider(self.isl_current);
+        }
+        if let Some(&t) = self.isl_queue.front() {
+            consider(t);
+        }
+        if let Some(img) = self.batch_queue.front() {
+            consider(img.capture);
+        }
+        if let Some(&t) = self.downlink_queue.front() {
+            consider(t);
+        }
+        if let Some(&t) = self.dl_group.first() {
+            consider(t);
+        }
+        oldest
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sudc_units::Seconds;
+
+    #[test]
+    fn identical_seeds_produce_identical_traces() {
+        let cfg = SimConfig::reference_operations(Seconds::new(1800.0));
+        let a = run(&cfg, 7);
+        let b = run(&cfg, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_produce_different_traces() {
+        let cfg = SimConfig::reference_operations(Seconds::new(1800.0));
+        let a = run(&cfg, 7);
+        let b = run(&cfg, 8);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn pipeline_conserves_images() {
+        let cfg = SimConfig::reference_operations(Seconds::new(3600.0));
+        let t = run(&cfg, 1);
+        assert!(t.captured > 0, "no captures in an hour");
+        assert_eq!(t.captured, t.filtered_out + t.arrived);
+        // Everything processed was first transferred; everything delivered
+        // was first processed.
+        assert!(t.processed <= t.arrived);
+        assert!(t.delivered <= t.processed);
+        // An hour of 64-satellite traffic must actually move data.
+        assert!(t.processed > 100, "processed only {}", t.processed);
+    }
+
+    #[test]
+    fn no_failures_means_full_availability() {
+        let cfg = SimConfig::reference_operations(Seconds::new(1800.0));
+        let t = run(&cfg, 3);
+        assert_eq!(t.failures, 0);
+        assert!((t.availability() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn failures_and_promotions_are_counted() {
+        let cfg = SimConfig::cold_spare_mission(20, 10, 0.1, 2.0);
+        let t = run(&cfg, 11);
+        assert!(t.failures > 0, "two MTTFs with exponential nodes must fail");
+        assert!(t.promotions > 0, "spares should be promoted");
+        assert!(t.promotions <= 10);
+        assert!(t.availability() > 0.0 && t.availability() <= 1.0);
+    }
+
+    #[test]
+    fn filtering_reduces_arrivals_proportionally() {
+        let base = SimConfig::reference_operations(Seconds::new(3600.0));
+        let collab = SimConfig::collaborative_operations(Seconds::new(3600.0));
+        let tb = run(&base, 5);
+        let tc = run(&collab, 5);
+        assert_eq!(tb.filtered_out, 0);
+        let pass = tc.arrived as f64 / tc.captured as f64;
+        assert!((pass - 1.0 / 3.0).abs() < 0.05, "pass fraction {pass}");
+    }
+}

@@ -1,0 +1,398 @@
+//! Per-run metric traces and their summaries.
+//!
+//! A [`RunTrace`] is everything one kernel run measured: event counts,
+//! per-image latency samples, exact time-weighted queue/occupancy
+//! integrals (accumulated in integer arithmetic, so traces compare with
+//! `==`), and periodic backlog-age samples. Summaries ([`LatencySummary`],
+//! [`RunTrace::to_json`]) convert ticks to seconds only at the edge.
+
+use sudc_par::json::{Json, ToJson};
+
+use crate::config::SimConfig;
+use crate::event::Tick;
+
+/// Nearest-rank percentile of an unsorted sample set, in the sample unit.
+/// Returns 0 for an empty set.
+fn percentile(sorted: &[Tick], q: f64) -> Tick {
+    debug_assert!((0.0..=1.0).contains(&q));
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+}
+
+/// Order statistics of one latency population, in seconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySummary {
+    /// Number of samples.
+    pub count: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (nearest rank).
+    pub p50: f64,
+    /// 95th percentile (nearest rank).
+    pub p95: f64,
+    /// 99th percentile (nearest rank).
+    pub p99: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+impl LatencySummary {
+    fn from_ticks(samples: &[Tick], tick_seconds: f64) -> Self {
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        let sum: u128 = sorted.iter().map(|&t| u128::from(t)).sum();
+        let count = sorted.len() as u64;
+        let mean = if sorted.is_empty() {
+            0.0
+        } else {
+            sum as f64 / sorted.len() as f64 * tick_seconds
+        };
+        Self {
+            count,
+            mean,
+            p50: percentile(&sorted, 0.50) as f64 * tick_seconds,
+            p95: percentile(&sorted, 0.95) as f64 * tick_seconds,
+            p99: percentile(&sorted, 0.99) as f64 * tick_seconds,
+            max: sorted.last().copied().unwrap_or(0) as f64 * tick_seconds,
+        }
+    }
+}
+
+impl ToJson for LatencySummary {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .with("count", self.count as f64)
+            .with("mean_s", self.mean)
+            .with("p50_s", self.p50)
+            .with("p95_s", self.p95)
+            .with("p99_s", self.p99)
+            .with("max_s", self.max)
+    }
+}
+
+/// One periodic backlog sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BacklogSample {
+    /// Sample time.
+    pub tick: Tick,
+    /// Images in or awaiting ISL transfer.
+    pub isl_items: usize,
+    /// Images awaiting batch dispatch.
+    pub batch_items: usize,
+    /// Insights in or awaiting downlink.
+    pub downlink_items: usize,
+    /// Age of the oldest unfinished image, ticks (`None` if the pipeline
+    /// is empty).
+    pub oldest_age: Option<Tick>,
+}
+
+/// The complete measurement record of one simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunTrace {
+    tick_seconds: f64,
+    duration_ticks: Tick,
+    required: u32,
+
+    /// Frames captured inside imaging windows.
+    pub captured: u64,
+    /// Frames discarded by edge filtering.
+    pub filtered_out: u64,
+    /// Frames offered to the ISL (captured − filtered).
+    pub arrived: u64,
+    /// Frames whose compute batch completed.
+    pub processed: u64,
+    /// Insights delivered to the ground.
+    pub delivered: u64,
+    /// Compute batches dispatched.
+    pub batches: u64,
+    /// Batches dispatched under-full by the staleness timeout.
+    pub timeout_batches: u64,
+    /// Powered-node failures.
+    pub failures: u64,
+    /// Cold spares promoted to powered service.
+    pub promotions: u64,
+    /// Cold spares found dead (dormant aging) at promotion time.
+    pub dormant_deaths: u64,
+
+    processing_latencies: Vec<Tick>,
+    delivery_latencies: Vec<Tick>,
+    samples: Vec<BacklogSample>,
+
+    // Exact time-weighted integrals, advanced by the kernel event loop.
+    last_tick: Tick,
+    busy_node_ticks: u128,
+    batch_queue_ticks: u128,
+    downlink_queue_ticks: u128,
+    full_capability_ticks: u64,
+    max_batch_queue: usize,
+    max_downlink_queue: usize,
+    end_full_capability: bool,
+    finished: bool,
+}
+
+impl RunTrace {
+    pub(crate) fn new(cfg: &SimConfig) -> Self {
+        Self {
+            tick_seconds: cfg.tick_seconds,
+            duration_ticks: cfg.duration_ticks,
+            required: cfg.required,
+            captured: 0,
+            filtered_out: 0,
+            arrived: 0,
+            processed: 0,
+            delivered: 0,
+            batches: 0,
+            timeout_batches: 0,
+            failures: 0,
+            promotions: 0,
+            dormant_deaths: 0,
+            processing_latencies: Vec::new(),
+            delivery_latencies: Vec::new(),
+            samples: Vec::new(),
+            last_tick: 0,
+            busy_node_ticks: 0,
+            batch_queue_ticks: 0,
+            downlink_queue_ticks: 0,
+            full_capability_ticks: 0,
+            max_batch_queue: 0,
+            max_downlink_queue: 0,
+            end_full_capability: true,
+            finished: false,
+        }
+    }
+
+    /// Integrates the time-weighted state from `last_tick` to `tick`.
+    pub(crate) fn advance_to(
+        &mut self,
+        tick: Tick,
+        busy_nodes: u32,
+        batch_queue: usize,
+        downlink_queue: usize,
+        full_capability: bool,
+    ) {
+        debug_assert!(tick >= self.last_tick, "event time went backwards");
+        let dt = tick - self.last_tick;
+        if dt > 0 {
+            self.busy_node_ticks += u128::from(dt) * u128::from(busy_nodes);
+            self.batch_queue_ticks += u128::from(dt) * batch_queue as u128;
+            self.downlink_queue_ticks += u128::from(dt) * downlink_queue as u128;
+            if full_capability {
+                self.full_capability_ticks += dt;
+            }
+            self.last_tick = tick;
+        }
+    }
+
+    pub(crate) fn finish(
+        &mut self,
+        duration: Tick,
+        busy_nodes: u32,
+        batch_queue: usize,
+        downlink_queue: usize,
+        full_capability: bool,
+    ) {
+        self.advance_to(
+            duration,
+            busy_nodes,
+            batch_queue,
+            downlink_queue,
+            full_capability,
+        );
+        self.end_full_capability = full_capability;
+        self.finished = true;
+    }
+
+    pub(crate) fn record_processing_latency(&mut self, ticks: Tick) {
+        self.processing_latencies.push(ticks);
+    }
+
+    pub(crate) fn record_delivery_latency(&mut self, ticks: Tick) {
+        self.delivery_latencies.push(ticks);
+    }
+
+    pub(crate) fn note_batch_queue_len(&mut self, len: usize) {
+        self.max_batch_queue = self.max_batch_queue.max(len);
+    }
+
+    pub(crate) fn note_downlink_queue_len(&mut self, len: usize) {
+        self.max_downlink_queue = self.max_downlink_queue.max(len);
+    }
+
+    pub(crate) fn record_backlog_sample(
+        &mut self,
+        isl_items: usize,
+        batch_items: usize,
+        downlink_items: usize,
+        oldest_age: Option<Tick>,
+    ) {
+        self.samples.push(BacklogSample {
+            tick: self.last_tick,
+            isl_items,
+            batch_items,
+            downlink_items,
+            oldest_age,
+        });
+    }
+
+    /// Physical length of one tick, seconds.
+    #[must_use]
+    pub fn tick_seconds(&self) -> f64 {
+        self.tick_seconds
+    }
+
+    /// Simulated span, seconds.
+    #[must_use]
+    pub fn duration_seconds(&self) -> f64 {
+        self.duration_ticks as f64 * self.tick_seconds
+    }
+
+    /// Capture → batch-complete latency statistics.
+    #[must_use]
+    pub fn processing_latency(&self) -> LatencySummary {
+        LatencySummary::from_ticks(&self.processing_latencies, self.tick_seconds)
+    }
+
+    /// Capture → ground-delivery latency statistics (dominated by contact
+    /// waits; compare scenarios on [`RunTrace::processing_latency`]).
+    #[must_use]
+    pub fn delivery_latency(&self) -> LatencySummary {
+        LatencySummary::from_ticks(&self.delivery_latencies, self.tick_seconds)
+    }
+
+    /// Fraction of the run with `required` healthy powered nodes.
+    #[must_use]
+    pub fn availability(&self) -> f64 {
+        self.full_capability_ticks as f64 / self.duration_ticks as f64
+    }
+
+    /// Whether the run *ended* at full capability (the estimator matched
+    /// by the analytic `NodePool::availability(t)` bound).
+    #[must_use]
+    pub fn ends_at_full_capability(&self) -> bool {
+        self.end_full_capability
+    }
+
+    /// Time-average busy fraction of the required compute nodes.
+    #[must_use]
+    pub fn compute_utilization(&self) -> f64 {
+        self.busy_node_ticks as f64 / (self.duration_ticks as f64 * f64::from(self.required))
+    }
+
+    /// Time-average images awaiting batch dispatch.
+    #[must_use]
+    pub fn mean_batch_queue(&self) -> f64 {
+        self.batch_queue_ticks as f64 / self.duration_ticks as f64
+    }
+
+    /// Largest instantaneous batch queue.
+    #[must_use]
+    pub fn max_batch_queue(&self) -> usize {
+        self.max_batch_queue
+    }
+
+    /// Time-average insights awaiting downlink.
+    #[must_use]
+    pub fn mean_downlink_backlog(&self) -> f64 {
+        self.downlink_queue_ticks as f64 / self.duration_ticks as f64
+    }
+
+    /// Largest instantaneous downlink backlog.
+    #[must_use]
+    pub fn max_downlink_backlog(&self) -> usize {
+        self.max_downlink_queue
+    }
+
+    /// Delivered insights per simulated hour.
+    #[must_use]
+    pub fn delivered_per_hour(&self) -> f64 {
+        self.delivered as f64 / (self.duration_seconds() / 3600.0)
+    }
+
+    /// Backlog-age statistics over the periodic samples, seconds (empty
+    /// pipeline samples count as age 0).
+    #[must_use]
+    pub fn backlog_age(&self) -> LatencySummary {
+        let ages: Vec<Tick> = self
+            .samples
+            .iter()
+            .map(|s| s.oldest_age.unwrap_or(0))
+            .collect();
+        LatencySummary::from_ticks(&ages, self.tick_seconds)
+    }
+
+    /// The periodic backlog samples, in time order.
+    #[must_use]
+    pub fn samples(&self) -> &[BacklogSample] {
+        &self.samples
+    }
+}
+
+impl ToJson for RunTrace {
+    fn to_json(&self) -> Json {
+        debug_assert!(self.finished, "serializing an unfinished trace");
+        Json::object()
+            .with("duration_s", self.duration_seconds())
+            .with("captured", self.captured as f64)
+            .with("filtered_out", self.filtered_out as f64)
+            .with("arrived", self.arrived as f64)
+            .with("processed", self.processed as f64)
+            .with("delivered", self.delivered as f64)
+            .with("batches", self.batches as f64)
+            .with("timeout_batches", self.timeout_batches as f64)
+            .with("failures", self.failures as f64)
+            .with("promotions", self.promotions as f64)
+            .with("dormant_deaths", self.dormant_deaths as f64)
+            .with("processing_latency", self.processing_latency().to_json())
+            .with("delivery_latency", self.delivery_latency().to_json())
+            .with("backlog_age", self.backlog_age().to_json())
+            .with("availability", self.availability())
+            .with("ends_at_full_capability", self.end_full_capability)
+            .with("compute_utilization", self.compute_utilization())
+            .with("mean_batch_queue", self.mean_batch_queue())
+            .with("max_batch_queue", self.max_batch_queue)
+            .with("mean_downlink_backlog", self.mean_downlink_backlog())
+            .with("max_downlink_backlog", self.max_downlink_backlog())
+            .with("delivered_per_hour", self.delivered_per_hour())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let v: Vec<Tick> = (1..=100).collect();
+        assert_eq!(percentile(&v, 0.50), 50);
+        assert_eq!(percentile(&v, 0.95), 95);
+        assert_eq!(percentile(&v, 0.99), 99);
+        assert_eq!(percentile(&v, 1.0), 100);
+        assert_eq!(percentile(&[], 0.5), 0);
+        assert_eq!(percentile(&[7], 0.99), 7);
+    }
+
+    #[test]
+    fn latency_summary_converts_ticks_to_seconds() {
+        let s = LatencySummary::from_ticks(&[10, 20, 30, 40], 0.5);
+        assert_eq!(s.count, 4);
+        assert!((s.mean - 12.5).abs() < 1e-12);
+        assert!((s.p50 - 10.0).abs() < 1e-12);
+        assert!((s.max - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn integrals_are_time_weighted() {
+        let cfg = crate::config::SimConfig::cold_spare_mission(2, 1, 0.0, 1.0);
+        let mut t = RunTrace::new(&cfg);
+        let d = cfg.duration_ticks;
+        // Busy for the first half, idle for the second.
+        t.advance_to(d / 2, 1, 4, 0, true);
+        t.finish(d, 0, 0, 0, true);
+        assert!((t.compute_utilization() - 0.5).abs() < 1e-9);
+        assert!((t.mean_batch_queue() - 2.0).abs() < 1e-9);
+        assert!((t.availability() - 1.0).abs() < 1e-12);
+    }
+}

@@ -65,3 +65,6 @@ pub use sudc_reliability as reliability;
 
 /// SµDC design pipeline and TCO analysis — the paper's primary contribution.
 pub use sudc_core as core;
+
+/// Deterministic discrete-event constellation operations simulator.
+pub use sudc_sim as sim;

@@ -1,0 +1,88 @@
+//! Acceptance tests for the discrete-event operations simulator: exact
+//! reproducibility across thread counts, the collaborative-filtering
+//! latency/backlog claim, and the cold-spare availability bound.
+
+use space_udc::reliability::availability::NodePool;
+use space_udc::sim::{SimConfig, SimSummary, DEFAULT_SEED};
+use space_udc::units::Seconds;
+
+/// The full serialized study for a fixed seed at a given thread count.
+fn study_json(threads: usize, cfg: &SimConfig, reps: u32) -> String {
+    use space_udc::par::json::ToJson;
+    space_udc::par::set_threads(threads);
+    let json = SimSummary::study(cfg, reps, DEFAULT_SEED)
+        .to_json()
+        .to_string_pretty();
+    space_udc::par::set_threads(0);
+    json
+}
+
+#[test]
+fn fixed_seed_simulation_is_byte_identical_at_1_2_and_8_threads() {
+    let cfg = SimConfig::reference_operations(Seconds::new(1800.0));
+    let one = study_json(1, &cfg, 4);
+    let two = study_json(2, &cfg, 4);
+    let eight = study_json(8, &cfg, 4);
+    assert_eq!(one, two, "1-thread and 2-thread runs diverged");
+    assert_eq!(one, eight, "1-thread and 8-thread runs diverged");
+    // And the bytes are non-trivial: a real study serialized.
+    assert!(one.len() > 1000);
+    assert!(one.contains("\"replications\""));
+}
+
+#[test]
+fn collaborative_filtering_beats_the_baseline_on_p99_latency_and_backlog() {
+    let duration = Seconds::new(4.0 * 3600.0);
+    let reps = 3;
+    let baseline = SimSummary::study(
+        &SimConfig::reference_operations(duration),
+        reps,
+        DEFAULT_SEED,
+    );
+    let collab = SimSummary::study(
+        &SimConfig::collaborative_operations(duration),
+        reps,
+        DEFAULT_SEED,
+    );
+    assert!(
+        collab.mean_processing_p99 < baseline.mean_processing_p99,
+        "filtered p99 {:.1} s must be strictly below baseline {:.1} s",
+        collab.mean_processing_p99,
+        baseline.mean_processing_p99
+    );
+    assert!(
+        collab.mean_batch_queue < baseline.mean_batch_queue,
+        "filtered dispatch backlog {:.2} must be strictly below baseline {:.2}",
+        collab.mean_batch_queue,
+        baseline.mean_batch_queue
+    );
+    assert!(
+        collab.mean_downlink_backlog < baseline.mean_downlink_backlog,
+        "filtered downlink backlog {:.0} must be strictly below baseline {:.0}",
+        collab.mean_downlink_backlog,
+        baseline.mean_downlink_backlog
+    );
+    // Filtering trades insight volume for latency: it must still deliver.
+    assert!(collab.mean_delivered_per_hour > 0.25 * baseline.mean_delivered_per_hour);
+}
+
+#[test]
+fn cold_spares_sustain_at_least_the_analytic_hot_pool_availability() {
+    // 20 installed / 10 required for one MTTF. The analytic NodePool bound
+    // powers all 20 from day one (hot), so every node ages at full rate;
+    // cold spares aging at 10% must end fully capable at least as often.
+    let mission = SimSummary::study(
+        &SimConfig::cold_spare_mission(20, 10, 0.1, 1.0),
+        60,
+        DEFAULT_SEED,
+    );
+    let analytic_hot = NodePool::new(20, 10).availability(1.0);
+    assert!(
+        mission.end_full_fraction >= analytic_hot,
+        "cold-spare end-state capability {:.3} fell below the analytic hot bound {:.3}",
+        mission.end_full_fraction,
+        analytic_hot
+    );
+    // Sanity on the bound itself: a meaningful, non-degenerate target.
+    assert!(analytic_hot > 0.05 && analytic_hot < 0.5);
+}
