@@ -6,6 +6,7 @@ use sudc_comms::requirements::saturation_rate;
 use sudc_comms::requirements::DEFAULT_BITS_PER_PIXEL;
 use sudc_compute::hardware::{rtx_3090, HardwareSpec};
 use sudc_compute::workloads;
+use sudc_errors::{Diagnostics, SudcError};
 use sudc_orbital::drag::{DragProfile, DvBudget};
 use sudc_orbital::launch::LaunchPricing;
 use sudc_orbital::rocket::Engine;
@@ -89,6 +90,22 @@ impl core::fmt::Display for DesignError {
 }
 
 impl std::error::Error for DesignError {}
+
+impl From<DesignError> for SudcError {
+    fn from(e: DesignError) -> Self {
+        match e {
+            DesignError::InvalidParameter { name, reason } => {
+                SudcError::single("SuDcDesign", name, reason, "a usable design parameter")
+            }
+            DesignError::IncompleteHardware { hardware, missing } => SudcError::single(
+                "SuDcDesign",
+                format!("hardware.{missing}"),
+                hardware,
+                format!("hardware with {missing} data"),
+            ),
+        }
+    }
+}
 
 /// How the ISL is provisioned.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -250,8 +267,27 @@ impl SuDcDesign {
     /// # Errors
     ///
     /// Propagates [`DesignError`] from sizing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sized satellite fails SSCM validation — possible only
+    /// for extreme (e.g. overflowing) parameters; see
+    /// [`SuDcDesign::try_tco`] for the fully fallible path.
     pub fn tco(&self) -> Result<TcoReport, DesignError> {
         Ok(self.size()?.tco())
+    }
+
+    /// Fully fallible sizing-and-costing pipeline over the shared
+    /// workspace error type: sizing failures and SSCM validation failures
+    /// (e.g. a design whose payload price overflows to infinity) both
+    /// surface as structured errors instead of panics.
+    ///
+    /// # Errors
+    ///
+    /// Returns the converted [`DesignError`] from sizing, or the
+    /// [`SudcError`] from [`SizedSuDc::try_tco`].
+    pub fn try_tco(&self) -> Result<TcoReport, SudcError> {
+        self.size()?.try_tco()
     }
 
     /// Radiation regime implied by the operating orbit.
@@ -336,12 +372,31 @@ impl SizedSuDc {
     }
 
     /// Costs the sized satellite.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sizing produced SSCM inputs that fail validation —
+    /// possible only for extreme parameters (see [`SizedSuDc::try_tco`]).
     #[must_use]
     pub fn tco(&self) -> TcoReport {
-        let estimate = SubsystemCers::sudc_default().estimate(&self.sscm_inputs());
+        match self.try_tco() {
+            Ok(report) => report,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible form of [`SizedSuDc::tco`]: SSCM input validation and the
+    /// cost rollup both report structured errors instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns the structured error from
+    /// [`SubsystemCers::try_estimate`] or [`TcoReport::try_new`].
+    pub fn try_tco(&self) -> Result<TcoReport, SudcError> {
+        let estimate = SubsystemCers::sudc_default().try_estimate(&self.sscm_inputs())?;
         let launch_cost = self.design.launch.cost(self.wet_mass());
         let ops_cost = OPS_COST_PER_YEAR * self.design.lifetime.value();
-        TcoReport::new(estimate, launch_cost, ops_cost)
+        TcoReport::try_new(estimate, launch_cost, ops_cost)
     }
 
     /// Exports the physical sizing as JSON.
@@ -507,37 +562,53 @@ impl SuDcDesignBuilder {
     /// # Errors
     ///
     /// Returns [`DesignError::InvalidParameter`] when a parameter is
-    /// missing, negative, NaN, or out of range.
+    /// missing, negative, NaN, or out of range. Reports the *first*
+    /// violation for the stable `&'static str` name; use
+    /// [`SuDcDesignBuilder::try_build`] to see all of them at once.
     pub fn build(self) -> Result<SuDcDesign, DesignError> {
-        let compute_power = self.compute_power.ok_or(DesignError::InvalidParameter {
-            name: "compute_power",
-            reason: "compute power must be specified".into(),
-        })?;
-        Self::check_positive("compute_power", compute_power.value())?;
-        Self::check_positive("efficiency_factor", self.efficiency_factor)?;
-        Self::check_positive("hardware_price_factor", self.hardware_price_factor)?;
-        Self::check_positive("pointing_arcsec", self.pointing_arcsec)?;
-        if self.fso_efficiency_scalar < 1.0 || !self.fso_efficiency_scalar.is_finite() {
-            return Err(DesignError::InvalidParameter {
-                name: "fso_efficiency_scalar",
-                reason: format!("must be >= 1, got {}", self.fso_efficiency_scalar),
-            });
-        }
-        if self.lifetime.value() <= 0.0 || !self.lifetime.value().is_finite() {
-            return Err(DesignError::InvalidParameter {
-                name: "lifetime",
-                reason: format!("must be positive, got {}", self.lifetime),
-            });
-        }
-        if let IslSizing::Fixed(rate) = self.isl {
-            if rate.value() < 0.0 || !rate.is_finite() {
-                return Err(DesignError::InvalidParameter {
-                    name: "isl_rate",
-                    reason: format!("must be non-negative, got {rate}"),
-                });
+        self.try_build().map_err(|e| {
+            let v = &e.violations()[0];
+            DesignError::InvalidParameter {
+                name: Self::static_name(&v.path),
+                reason: format!("must be {}, got {}", v.allowed, v.value),
+            }
+        })
+    }
+
+    /// Fallible form of [`SuDcDesignBuilder::build`] over the shared
+    /// workspace error type, reporting *every* invalid parameter in one
+    /// pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SudcError`] with one violation per offending parameter.
+    pub fn try_build(self) -> Result<SuDcDesign, SudcError> {
+        let mut d = Diagnostics::new("SuDcDesign");
+        match self.compute_power {
+            None => d.violation(
+                "compute_power",
+                "unset",
+                "a specified compute power (required)",
+            ),
+            Some(p) => {
+                d.positive("compute_power", p.value());
             }
         }
-        Ok(SuDcDesign {
+        d.positive("efficiency_factor", self.efficiency_factor);
+        d.positive("hardware_price_factor", self.hardware_price_factor);
+        d.positive("pointing_arcsec", self.pointing_arcsec);
+        d.ensure(
+            self.fso_efficiency_scalar >= 1.0 && self.fso_efficiency_scalar.is_finite(),
+            "fso_efficiency_scalar",
+            self.fso_efficiency_scalar,
+            "a finite scalar >= 1",
+        );
+        d.positive("lifetime", self.lifetime.value());
+        if let IslSizing::Fixed(rate) = self.isl {
+            d.non_negative("isl_rate", rate.value());
+        }
+        let compute_power = self.compute_power.unwrap_or(Watts::new(0.0));
+        d.into_result(SuDcDesign {
             compute_power,
             hardware: self.hardware,
             efficiency_factor: self.efficiency_factor,
@@ -554,14 +625,18 @@ impl SuDcDesignBuilder {
         })
     }
 
-    fn check_positive(name: &'static str, value: f64) -> Result<(), DesignError> {
-        if value > 0.0 && value.is_finite() {
-            Ok(())
-        } else {
-            Err(DesignError::InvalidParameter {
-                name,
-                reason: format!("must be positive and finite, got {value}"),
-            })
+    /// Maps a violation path back to the stable parameter name that
+    /// [`DesignError::InvalidParameter`] has always reported.
+    fn static_name(path: &str) -> &'static str {
+        match path {
+            "compute_power" => "compute_power",
+            "efficiency_factor" => "efficiency_factor",
+            "hardware_price_factor" => "hardware_price_factor",
+            "pointing_arcsec" => "pointing_arcsec",
+            "fso_efficiency_scalar" => "fso_efficiency_scalar",
+            "lifetime" => "lifetime",
+            "isl_rate" => "isl_rate",
+            _ => "design parameter",
         }
     }
 }
@@ -736,5 +811,35 @@ mod tests {
     fn error_display_is_informative() {
         let err = SuDcDesign::builder().build().unwrap_err();
         assert!(err.to_string().contains("compute_power"));
+    }
+
+    #[test]
+    fn try_build_reports_every_violation_at_once() {
+        let err = SuDcDesign::builder()
+            .compute_power(Watts::new(f64::NAN))
+            .efficiency_factor(-1.0)
+            .fso_efficiency_scalar(0.5)
+            .lifetime(Years::new(0.0))
+            .try_build()
+            .unwrap_err();
+        let paths: Vec<&str> = err.violations().iter().map(|v| v.path.as_str()).collect();
+        assert_eq!(
+            paths,
+            [
+                "compute_power",
+                "efficiency_factor",
+                "fso_efficiency_scalar",
+                "lifetime"
+            ]
+        );
+        // The legacy error keeps reporting the first offender's static name.
+        let legacy = SuDcDesign::builder()
+            .compute_power(Watts::new(f64::NAN))
+            .efficiency_factor(-1.0)
+            .build()
+            .unwrap_err();
+        assert!(
+            matches!(legacy, DesignError::InvalidParameter { name, .. } if name == "compute_power")
+        );
     }
 }

@@ -43,4 +43,5 @@ pub mod tco;
 
 pub use design::{DesignError, SuDcDesign, SuDcDesignBuilder};
 pub use scenario::Scenario;
+pub use sudc_errors::{Diagnostics, SudcError, Violation};
 pub use tco::TcoReport;

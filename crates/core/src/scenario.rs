@@ -79,6 +79,18 @@ impl Scenario {
     pub fn design(self) -> Result<SuDcDesign, DesignError> {
         self.builder().build()
     }
+
+    /// Builds the scenario's design over the shared workspace error type,
+    /// reporting every invalid parameter (relevant when callers customize
+    /// the [`Scenario::builder`] before building).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the structured error from
+    /// [`crate::design::SuDcDesignBuilder::try_build`].
+    pub fn try_design(self) -> Result<SuDcDesign, sudc_errors::SudcError> {
+        self.builder().try_build()
+    }
 }
 
 impl core::fmt::Display for Scenario {

@@ -1,5 +1,6 @@
 //! Total-cost-of-ownership rollup for one SµDC.
 
+use sudc_errors::{Diagnostics, SudcError};
 use sudc_sscm::subsystems::Subsystem;
 use sudc_sscm::CostEstimate;
 use sudc_units::Usd;
@@ -37,7 +38,8 @@ pub struct TcoReport {
 }
 
 impl TcoReport {
-    /// Assembles a report.
+    /// Assembles a report. Infallible by construction; see
+    /// [`TcoReport::try_new`] for the validating form.
     #[must_use]
     pub fn new(estimate: CostEstimate, launch: Usd, operations: Usd) -> Self {
         Self {
@@ -45,6 +47,28 @@ impl TcoReport {
             launch,
             operations,
         }
+    }
+
+    /// Validating form of [`TcoReport::new`]: rejects non-finite or
+    /// negative launch and operations costs, which would silently poison
+    /// every share and total downstream.
+    ///
+    /// # Errors
+    ///
+    /// Returns a structured error naming each offending cost.
+    pub fn try_new(
+        estimate: CostEstimate,
+        launch: Usd,
+        operations: Usd,
+    ) -> Result<Self, SudcError> {
+        let mut d = Diagnostics::new("TcoReport");
+        d.non_negative("launch", launch.value());
+        d.non_negative("operations", operations.value());
+        d.into_result(Self {
+            estimate,
+            launch,
+            operations,
+        })
     }
 
     /// The underlying SSCM-SµDC estimate.

@@ -7,6 +7,12 @@
 
 use std::fmt::Write as _;
 
+use sudc_errors::SudcError;
+
+/// Largest integer (2^53) that `f64` represents exactly; counters above
+/// this cannot round-trip through a JSON number without losing precision.
+pub const MAX_EXACT_JSON_INT: u64 = 1 << 53;
+
 /// A JSON value.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Json {
@@ -35,11 +41,28 @@ impl Json {
     ///
     /// # Panics
     ///
-    /// Panics if `self` is not an object.
+    /// Panics if `self` is not an object (see [`Json::try_with`]).
     #[must_use]
-    pub fn with(mut self, key: &str, value: impl Into<Json>) -> Self {
+    pub fn with(self, key: &str, value: impl Into<Json>) -> Self {
+        match self.try_with(key, value) {
+            Ok(obj) => obj,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible form of [`Json::with`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a structured error if `self` is not an object.
+    pub fn try_with(mut self, key: &str, value: impl Into<Json>) -> Result<Self, SudcError> {
         let Self::Obj(entries) = &mut self else {
-            panic!("Json::with called on a non-object");
+            return Err(SudcError::single(
+                "Json::with",
+                "self",
+                format!("{self:?}"),
+                "an object receiver (non-object values cannot take keys)",
+            ));
         };
         let value = value.into();
         if let Some(slot) = entries.iter_mut().find(|(k, _)| k == key) {
@@ -47,7 +70,7 @@ impl Json {
         } else {
             entries.push((key.to_string(), value));
         }
-        self
+        Ok(self)
     }
 
     /// Renders compact JSON.
@@ -188,6 +211,27 @@ impl<T: Into<Json>> From<Vec<T>> for Json {
     }
 }
 
+impl TryFrom<u64> for Json {
+    type Error = SudcError;
+
+    /// Checked integer conversion: counters above 2^53
+    /// ([`MAX_EXACT_JSON_INT`]) would silently lose precision through the
+    /// `f64` JSON number representation, so they error instead.
+    fn try_from(v: u64) -> Result<Self, SudcError> {
+        if v <= MAX_EXACT_JSON_INT {
+            #[allow(clippy::cast_precision_loss)] // exact below 2^53, checked above
+            Ok(Self::Num(v as f64))
+        } else {
+            Err(SudcError::single(
+                "Json counter",
+                "u64",
+                v,
+                format!("at most 2^53 = {MAX_EXACT_JSON_INT} (exactly representable as f64)"),
+            ))
+        }
+    }
+}
+
 /// Types that can render themselves as a [`Json`] value (the workspace's
 /// offline stand-in for `serde::Serialize`).
 pub trait ToJson {
@@ -244,5 +288,23 @@ mod tests {
     #[should_panic(expected = "non-object")]
     fn with_on_array_panics() {
         let _ = Json::Arr(vec![]).with("k", 1.0);
+    }
+
+    #[test]
+    fn try_with_matches_with_on_objects_and_errors_elsewhere() {
+        let ok = Json::object().try_with("x", 1.0).unwrap();
+        assert_eq!(ok, Json::object().with("x", 1.0));
+        let err = Json::Num(1.0).try_with("k", 2.0).unwrap_err();
+        assert!(err.to_string().contains("non-object"));
+    }
+
+    #[test]
+    fn u64_conversion_is_exact_up_to_2_pow_53() {
+        assert_eq!(Json::try_from(0u64).unwrap(), Json::Num(0.0));
+        let max = Json::try_from(MAX_EXACT_JSON_INT).unwrap();
+        assert_eq!(max.to_string_compact(), "9007199254740992");
+        let err = Json::try_from(MAX_EXACT_JSON_INT + 1).unwrap_err();
+        assert!(err.to_string().contains("9007199254740993"), "{err}");
+        assert!(Json::try_from(u64::MAX).is_err());
     }
 }

@@ -64,6 +64,14 @@ impl std::fmt::Display for ThreadConfigError {
 
 impl std::error::Error for ThreadConfigError {}
 
+impl From<ThreadConfigError> for sudc_errors::SudcError {
+    /// Lifts a thread-configuration mistake into the workspace error
+    /// taxonomy, preserving the original message as the allowed-range text.
+    fn from(e: ThreadConfigError) -> Self {
+        Self::single("thread configuration", "SUDC_THREADS", &e.0, e.0.clone())
+    }
+}
+
 /// Pure thread-count resolution: explicit override, then the value of the
 /// `SUDC_THREADS` environment variable (if set), then `fallback` (the
 /// machine's available parallelism). Always at least 1 on success.

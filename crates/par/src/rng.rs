@@ -81,14 +81,36 @@ impl Rng64 {
     ///
     /// # Panics
     ///
-    /// Panics if the bounds are not finite or `lo >= hi`.
+    /// Panics if the bounds are not finite or `lo >= hi` (see
+    /// [`Rng64::try_range`]).
     #[must_use]
     pub fn next_range(&mut self, lo: f64, hi: f64) -> f64 {
-        assert!(
-            lo.is_finite() && hi.is_finite() && lo < hi,
-            "invalid range [{lo}, {hi})"
-        );
-        lo + self.next_f64() * (hi - lo)
+        match self.try_range(lo, hi) {
+            Ok(x) => x,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible form of [`Rng64::next_range`]: validates the bounds before
+    /// drawing (an invalid range draws nothing, keeping the stream intact).
+    ///
+    /// # Errors
+    ///
+    /// Returns a structured error if a bound is NaN/±∞ or `lo >= hi`.
+    pub fn try_range(&mut self, lo: f64, hi: f64) -> Result<f64, sudc_errors::SudcError> {
+        let mut d = sudc_errors::Diagnostics::new("Rng64::next_range");
+        let lo_ok = d.finite("lo", lo);
+        let hi_ok = d.finite("hi", hi);
+        if lo_ok && hi_ok {
+            d.ensure(
+                lo < hi,
+                "lo..hi",
+                format!("[{lo}, {hi})"),
+                "a non-empty range (lo < hi)",
+            );
+        }
+        d.finish()?;
+        Ok(lo + self.next_f64() * (hi - lo))
     }
 
     /// Uniform integer draw in `[0, bound)` via Lemire's multiply-shift
@@ -96,11 +118,30 @@ impl Rng64 {
     ///
     /// # Panics
     ///
-    /// Panics if `bound` is 0.
+    /// Panics if `bound` is 0 (see [`Rng64::try_below`]).
     #[must_use]
     pub fn next_below(&mut self, bound: u64) -> u64 {
-        assert!(bound > 0, "bound must be positive");
-        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+        match self.try_below(bound) {
+            Ok(x) => x,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible form of [`Rng64::next_below`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a structured error if `bound` is 0.
+    pub fn try_below(&mut self, bound: u64) -> Result<u64, sudc_errors::SudcError> {
+        if bound == 0 {
+            return Err(sudc_errors::SudcError::single(
+                "Rng64::next_below",
+                "bound",
+                bound,
+                "a positive bound",
+            ));
+        }
+        Ok(((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64)
     }
 
     /// Standard-exponential draw (mean 1) by inversion, clamped away from
@@ -174,5 +215,19 @@ mod tests {
             let x = rng.next_range(-2.0, 3.0);
             assert!((-2.0..3.0).contains(&x));
         }
+    }
+
+    #[test]
+    fn invalid_draw_parameters_error_without_touching_the_stream() {
+        let mut rng = Rng64::new(11);
+        let mut twin = rng.clone();
+        assert!(rng.try_range(f64::NAN, 1.0).is_err());
+        assert!(rng.try_range(0.0, f64::INFINITY).is_err());
+        assert!(rng.try_range(3.0, 3.0).is_err());
+        assert!(rng.try_below(0).is_err());
+        // Rejected draws consumed no randomness.
+        assert_eq!(rng.next_u64(), twin.next_u64());
+        let err = rng.try_range(2.0, -2.0).unwrap_err();
+        assert!(err.to_string().contains("lo < hi"), "{err}");
     }
 }

@@ -12,6 +12,7 @@
 use sudc_constellation::EdgeFiltering;
 use sudc_core::dynamics::DynamicScenario;
 use sudc_core::Scenario;
+use sudc_errors::{Diagnostics, SudcError};
 use sudc_units::Seconds;
 
 use crate::event::Tick;
@@ -79,16 +80,38 @@ impl SimConfig {
     ///
     /// # Panics
     ///
-    /// Panics if `tick_seconds` or `duration` is not positive.
+    /// Panics if `tick_seconds` or `duration` is not positive, or the
+    /// quantized configuration fails validation (see
+    /// [`SimConfig::try_from_dynamic`]).
     #[must_use]
     pub fn from_dynamic(d: &DynamicScenario, tick_seconds: f64, duration: Seconds) -> Self {
-        assert!(
-            tick_seconds > 0.0 && tick_seconds.is_finite(),
-            "tick length must be positive, got {tick_seconds}"
-        );
-        assert!(duration.value() > 0.0, "duration must be positive");
+        match Self::try_from_dynamic(d, tick_seconds, duration) {
+            Ok(cfg) => cfg,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible form of [`SimConfig::from_dynamic`]: checks the clock
+    /// parameters, quantizes, then runs the full
+    /// [`SimConfig::try_validate`] — an `Ok` configuration is guaranteed
+    /// runnable.
+    ///
+    /// # Errors
+    ///
+    /// Returns a structured error if `tick_seconds` or `duration` is not
+    /// positive and finite, or if the scenario quantizes to an invalid
+    /// configuration (e.g. NaN rates or an impossible node pool).
+    pub fn try_from_dynamic(
+        d: &DynamicScenario,
+        tick_seconds: f64,
+        duration: Seconds,
+    ) -> Result<Self, SudcError> {
+        let mut diag = Diagnostics::new("SimConfig::from_dynamic");
+        diag.positive("tick_seconds", tick_seconds);
+        diag.positive("duration", duration.value());
+        diag.finish()?;
         let ticks = |s: f64| s / tick_seconds;
-        Self {
+        let cfg = Self {
             tick_seconds,
             duration_ticks: ticks(duration.value()).ceil() as Tick,
             sample_interval_ticks: (ticks(60.0).ceil() as Tick).max(1),
@@ -110,7 +133,9 @@ impl SimConfig {
             contact_gap_ticks: (ticks(d.contact_gap.value()).round() as Tick).max(1),
             contact_window_ticks: (ticks(d.contact_window.value()).round() as Tick).max(1),
             downlink_transfer_ticks: ticks(d.insight_size.value() / d.downlink_rate.value()),
-        }
+        };
+        cfg.try_validate()?;
+        Ok(cfg)
     }
 
     /// The paper's reference operations scenario: 64 EO satellites feeding
@@ -148,7 +173,8 @@ impl SimConfig {
     /// # Panics
     ///
     /// Panics if `required` is zero or exceeds `nodes`, or
-    /// `duration_mttf` is not positive.
+    /// `duration_mttf` is not positive (see
+    /// [`SimConfig::try_cold_spare_mission`]).
     #[must_use]
     pub fn cold_spare_mission(
         nodes: u32,
@@ -156,20 +182,45 @@ impl SimConfig {
         dormant_aging: f64,
         duration_mttf: f64,
     ) -> Self {
-        assert!(required > 0, "at least one node must be required");
-        assert!(
-            required <= nodes,
-            "cannot require {required} of only {nodes} nodes"
-        );
-        assert!(
-            duration_mttf > 0.0 && duration_mttf.is_finite(),
-            "mission duration must be positive, got {duration_mttf}"
-        );
+        match Self::try_cold_spare_mission(nodes, required, dormant_aging, duration_mttf) {
+            Ok(cfg) => cfg,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible form of [`SimConfig::cold_spare_mission`], reporting every
+    /// invalid parameter in one pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns a structured error if `required` is zero or exceeds
+    /// `nodes`, `dormant_aging` is outside `[0, 1]`, or `duration_mttf`
+    /// is not positive and finite.
+    pub fn try_cold_spare_mission(
+        nodes: u32,
+        required: u32,
+        dormant_aging: f64,
+        duration_mttf: f64,
+    ) -> Result<Self, SudcError> {
+        let mut d = Diagnostics::new("SimConfig::cold_spare_mission");
+        if d.positive_count("required", u64::from(required)) {
+            d.ensure(
+                required <= nodes,
+                "required",
+                required,
+                format!(
+                    "at most nodes = {nodes} (cannot require {required} of only {nodes} nodes)"
+                ),
+            );
+        }
+        d.unit_interval("dormant_aging", dormant_aging);
+        d.positive("duration_mttf", duration_mttf);
+        d.finish()?;
         let mttf_ticks = 100_000.0;
         let mttf_seconds = sudc_units::Years::new(2.0).to_seconds().value();
         let tick_seconds = mttf_seconds / mttf_ticks;
         let duration_ticks = (duration_mttf * mttf_ticks).ceil() as Tick;
-        Self {
+        Ok(Self {
             tick_seconds,
             duration_ticks,
             sample_interval_ticks: duration_ticks.max(100) / 100,
@@ -191,65 +242,81 @@ impl SimConfig {
             contact_gap_ticks: 1,
             contact_window_ticks: 1,
             downlink_transfer_ticks: 0.0,
-        }
+        })
     }
 
     /// Checks internal consistency; the kernel calls this before running.
     ///
     /// # Panics
     ///
-    /// Panics on any invalid field combination, naming the field.
+    /// Panics on any invalid field combination, naming the field (see
+    /// [`SimConfig::try_validate`]).
     pub fn validate(&self) {
-        assert!(self.tick_seconds > 0.0, "tick_seconds must be positive");
-        assert!(self.duration_ticks > 0, "duration_ticks must be positive");
-        assert!(
-            self.sample_interval_ticks > 0,
-            "sample_interval_ticks must be positive"
+        if let Err(e) = self.try_validate() {
+            panic!("{e}");
+        }
+    }
+
+    /// Structured form of [`SimConfig::validate`], reporting *every*
+    /// invalid field combination in one pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SudcError`] with one violation per offending field.
+    pub fn try_validate(&self) -> Result<(), SudcError> {
+        let mut d = Diagnostics::new("SimConfig");
+        d.positive("tick_seconds", self.tick_seconds);
+        d.positive_count("duration_ticks", self.duration_ticks);
+        d.positive_count("sample_interval_ticks", self.sample_interval_ticks);
+        d.ensure(
+            self.satellites == 0
+                || (self.frame_interval_ticks.is_finite() && self.frame_interval_ticks > 0.0),
+            "frame_interval_ticks",
+            self.frame_interval_ticks,
+            "a positive, finite frame interval when satellites image",
         );
-        assert!(
-            self.satellites == 0 || self.frame_interval_ticks > 0.0,
-            "frame_interval_ticks must be positive when satellites image"
+        d.unit_interval("imaging_duty", self.imaging_duty);
+        d.unit_interval("phase_spread", self.phase_spread);
+        d.ensure(
+            self.filtering.is_finite() && (0.0..1.0).contains(&self.filtering),
+            "filtering",
+            self.filtering,
+            "a filtering probability in [0, 1)",
         );
-        assert!(
-            (0.0..=1.0).contains(&self.imaging_duty),
-            "imaging_duty must be in [0, 1]"
+        d.non_negative("isl_transfer_ticks", self.isl_transfer_ticks);
+        d.positive_count("batch_target", u64::from(self.batch_target));
+        d.positive_count("batch_timeout_ticks", self.batch_timeout_ticks);
+        d.non_negative("service_ticks_per_image", self.service_ticks_per_image);
+        if d.positive_count("required", u64::from(self.required)) {
+            d.ensure(
+                self.required <= self.nodes,
+                "required",
+                self.required,
+                format!(
+                    "at most nodes = {} (cannot require {} of {} nodes)",
+                    self.nodes, self.required, self.nodes
+                ),
+            );
+        }
+        d.ensure(
+            self.mttf_ticks > 0.0 && !self.mttf_ticks.is_nan(),
+            "mttf_ticks",
+            self.mttf_ticks,
+            "a positive MTTF (use INFINITY to disable failures)",
         );
-        assert!(
-            (0.0..=1.0).contains(&self.phase_spread),
-            "phase_spread must be in [0, 1]"
-        );
-        assert!(
-            (0.0..1.0).contains(&self.filtering),
-            "filtering must be in [0, 1)"
-        );
-        assert!(self.batch_target > 0, "batch_target must be positive");
-        assert!(
-            self.service_ticks_per_image >= 0.0,
-            "service time must be non-negative"
-        );
-        assert!(self.required > 0, "required must be positive");
-        assert!(
-            self.required <= self.nodes,
-            "cannot require {} of {} nodes",
-            self.required,
-            self.nodes
-        );
-        assert!(
-            self.mttf_ticks > 0.0,
-            "mttf_ticks must be positive (use INFINITY to disable failures)"
-        );
-        assert!(
-            self.weibull_shape > 0.0 && self.weibull_shape.is_finite(),
-            "weibull_shape must be positive and finite"
-        );
-        assert!(
-            (0.0..=1.0).contains(&self.dormant_aging),
-            "dormant_aging must be in [0, 1]"
-        );
-        assert!(
+        d.positive("weibull_shape", self.weibull_shape);
+        d.unit_interval("dormant_aging", self.dormant_aging);
+        d.ensure(
             self.contact_window_ticks <= self.contact_gap_ticks,
-            "contact window cannot exceed the gap between windows"
+            "contact_window_ticks",
+            self.contact_window_ticks,
+            format!(
+                "at most contact_gap_ticks = {} (the contact window cannot exceed the gap between windows)",
+                self.contact_gap_ticks
+            ),
         );
+        d.non_negative("downlink_transfer_ticks", self.downlink_transfer_ticks);
+        d.finish()
     }
 }
 

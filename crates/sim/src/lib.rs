@@ -43,5 +43,6 @@ pub mod replicate;
 pub use config::SimConfig;
 pub use event::{Event, EventQueue, Tick};
 pub use kernel::run;
-pub use metrics::{BacklogSample, LatencySummary, RunTrace};
-pub use replicate::{replicate, SimSummary, DEFAULT_SEED};
+pub use metrics::{try_percentile, BacklogSample, LatencySummary, RunTrace};
+pub use replicate::{replicate, try_replicate, SimSummary, DEFAULT_SEED};
+pub use sudc_errors::{Diagnostics, SudcError, Violation};

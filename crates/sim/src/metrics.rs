@@ -6,20 +6,43 @@
 //! `==`), and periodic backlog-age samples. Summaries ([`LatencySummary`],
 //! [`RunTrace::to_json`]) convert ticks to seconds only at the edge.
 
+use sudc_errors::SudcError;
 use sudc_par::json::{Json, ToJson};
 
 use crate::config::SimConfig;
 use crate::event::Tick;
 
-/// Nearest-rank percentile of an unsorted sample set, in the sample unit.
+/// Nearest-rank percentile of a sorted sample set, in the sample unit.
 /// Returns 0 for an empty set.
-fn percentile(sorted: &[Tick], q: f64) -> Tick {
-    debug_assert!((0.0..=1.0).contains(&q));
+///
+/// # Errors
+///
+/// Returns a structured error if `q` is NaN or outside `[0, 1]` — checked
+/// unconditionally (this used to be a `debug_assert!`, so release builds
+/// silently returned a clamped rank for garbage quantiles).
+pub fn try_percentile(sorted: &[Tick], q: f64) -> Result<Tick, SudcError> {
+    if !(q.is_finite() && (0.0..=1.0).contains(&q)) {
+        return Err(SudcError::single(
+            "percentile",
+            "q",
+            q,
+            "a quantile in [0, 1]",
+        ));
+    }
     if sorted.is_empty() {
-        return 0;
+        return Ok(0);
     }
     let rank = (q * sorted.len() as f64).ceil() as usize;
-    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+    Ok(sorted[rank.saturating_sub(1).min(sorted.len() - 1)])
+}
+
+/// Panicking wrapper over [`try_percentile`] for the fixed in-crate
+/// quantiles (0.50/0.95/0.99), which are always valid.
+fn percentile(sorted: &[Tick], q: f64) -> Tick {
+    match try_percentile(sorted, q) {
+        Ok(t) => t,
+        Err(e) => panic!("{e}"),
+    }
 }
 
 /// Order statistics of one latency population, in seconds.
@@ -61,15 +84,32 @@ impl LatencySummary {
     }
 }
 
-impl ToJson for LatencySummary {
-    fn to_json(&self) -> Json {
-        Json::object()
-            .with("count", self.count as f64)
+impl LatencySummary {
+    /// Fallible JSON form: the sample count goes through the checked
+    /// `u64 → f64` conversion, so a count above 2^53 errors instead of
+    /// silently losing precision.
+    ///
+    /// # Errors
+    ///
+    /// Returns a structured error if `count` exceeds
+    /// [`sudc_par::json::MAX_EXACT_JSON_INT`].
+    pub fn try_to_json(&self) -> Result<Json, SudcError> {
+        Ok(Json::object()
+            .with("count", Json::try_from(self.count)?)
             .with("mean_s", self.mean)
             .with("p50_s", self.p50)
             .with("p95_s", self.p95)
             .with("p99_s", self.p99)
-            .with("max_s", self.max)
+            .with("max_s", self.max))
+    }
+}
+
+impl ToJson for LatencySummary {
+    fn to_json(&self) -> Json {
+        match self.try_to_json() {
+            Ok(j) => j,
+            Err(e) => panic!("{e}"),
+        }
     }
 }
 
@@ -330,32 +370,58 @@ impl RunTrace {
     }
 }
 
-impl ToJson for RunTrace {
-    fn to_json(&self) -> Json {
+impl RunTrace {
+    /// Fallible JSON form: every `u64` event counter goes through the
+    /// checked `u64 → f64` conversion, so a counter above 2^53 errors
+    /// instead of silently losing precision in the emitted artifact.
+    ///
+    /// # Errors
+    ///
+    /// Returns a structured error naming the first counter that exceeds
+    /// [`sudc_par::json::MAX_EXACT_JSON_INT`].
+    pub fn try_to_json(&self) -> Result<Json, SudcError> {
         debug_assert!(self.finished, "serializing an unfinished trace");
-        Json::object()
+        Ok(Json::object()
             .with("duration_s", self.duration_seconds())
-            .with("captured", self.captured as f64)
-            .with("filtered_out", self.filtered_out as f64)
-            .with("arrived", self.arrived as f64)
-            .with("processed", self.processed as f64)
-            .with("delivered", self.delivered as f64)
-            .with("batches", self.batches as f64)
-            .with("timeout_batches", self.timeout_batches as f64)
-            .with("failures", self.failures as f64)
-            .with("promotions", self.promotions as f64)
-            .with("dormant_deaths", self.dormant_deaths as f64)
-            .with("processing_latency", self.processing_latency().to_json())
-            .with("delivery_latency", self.delivery_latency().to_json())
-            .with("backlog_age", self.backlog_age().to_json())
+            .with("captured", Json::try_from(self.captured)?)
+            .with("filtered_out", Json::try_from(self.filtered_out)?)
+            .with("arrived", Json::try_from(self.arrived)?)
+            .with("processed", Json::try_from(self.processed)?)
+            .with("delivered", Json::try_from(self.delivered)?)
+            .with("batches", Json::try_from(self.batches)?)
+            .with("timeout_batches", Json::try_from(self.timeout_batches)?)
+            .with("failures", Json::try_from(self.failures)?)
+            .with("promotions", Json::try_from(self.promotions)?)
+            .with("dormant_deaths", Json::try_from(self.dormant_deaths)?)
+            .with(
+                "processing_latency",
+                self.processing_latency().try_to_json()?,
+            )
+            .with("delivery_latency", self.delivery_latency().try_to_json()?)
+            .with("backlog_age", self.backlog_age().try_to_json()?)
             .with("availability", self.availability())
             .with("ends_at_full_capability", self.end_full_capability)
             .with("compute_utilization", self.compute_utilization())
             .with("mean_batch_queue", self.mean_batch_queue())
-            .with("max_batch_queue", self.max_batch_queue)
+            .with(
+                "max_batch_queue",
+                Json::try_from(self.max_batch_queue as u64)?,
+            )
             .with("mean_downlink_backlog", self.mean_downlink_backlog())
-            .with("max_downlink_backlog", self.max_downlink_backlog())
-            .with("delivered_per_hour", self.delivered_per_hour())
+            .with(
+                "max_downlink_backlog",
+                Json::try_from(self.max_downlink_queue as u64)?,
+            )
+            .with("delivered_per_hour", self.delivered_per_hour()))
+    }
+}
+
+impl ToJson for RunTrace {
+    fn to_json(&self) -> Json {
+        match self.try_to_json() {
+            Ok(j) => j,
+            Err(e) => panic!("{e}"),
+        }
     }
 }
 
@@ -372,6 +438,17 @@ mod tests {
         assert_eq!(percentile(&v, 1.0), 100);
         assert_eq!(percentile(&[], 0.5), 0);
         assert_eq!(percentile(&[7], 0.99), 7);
+    }
+
+    #[test]
+    fn percentile_rejects_bad_quantiles_even_in_release() {
+        // Regression: the q-range check was a debug_assert!, so release
+        // builds silently clamped garbage quantiles.
+        for q in [-0.1, 1.1, f64::NAN, f64::INFINITY] {
+            let err = try_percentile(&[1, 2, 3], q).unwrap_err();
+            assert!(err.to_string().contains('q'), "{err}");
+        }
+        assert_eq!(try_percentile(&[1, 2, 3], 1.0).unwrap(), 3);
     }
 
     #[test]

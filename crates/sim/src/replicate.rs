@@ -8,12 +8,13 @@
 //! order, the resulting `Vec<RunTrace>` (and everything derived from it)
 //! is byte-identical whether the executor uses 1 thread or 64.
 
+use sudc_errors::{Diagnostics, SudcError};
 use sudc_par::json::{Json, ToJson};
 use sudc_par::rng::Rng64;
 
 use crate::config::SimConfig;
 use crate::kernel;
-use crate::metrics::RunTrace;
+use crate::metrics::{LatencySummary, RunTrace};
 
 /// Default base seed for simulation studies.
 pub const DEFAULT_SEED: u64 = 0x5bdc_2026;
@@ -24,16 +25,49 @@ pub const DEFAULT_SEED: u64 = 0x5bdc_2026;
 ///
 /// # Panics
 ///
-/// Panics if `reps` is zero or `cfg` is invalid.
+/// Panics if `reps` is zero or `cfg` is invalid (see [`try_replicate`]).
 #[must_use]
 pub fn replicate(cfg: &SimConfig, reps: u32, base_seed: u64) -> Vec<RunTrace> {
-    assert!(reps > 0, "at least one replication is required");
-    cfg.validate();
+    match try_replicate(cfg, reps, base_seed) {
+        Ok(traces) => traces,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible form of [`replicate`]: reports a zero `reps` and every invalid
+/// configuration field in one combined error before running anything.
+///
+/// # Errors
+///
+/// Returns a structured error if `reps` is zero or `cfg` fails
+/// [`SimConfig::try_validate`].
+pub fn try_replicate(
+    cfg: &SimConfig,
+    reps: u32,
+    base_seed: u64,
+) -> Result<Vec<RunTrace>, SudcError> {
+    let mut d = Diagnostics::new("replication study");
+    d.ensure(
+        reps > 0,
+        "reps",
+        reps,
+        "at least one replication is required",
+    );
+    let mut err = d.finish().err();
+    if let Err(cfg_err) = cfg.try_validate() {
+        err = Some(match err {
+            Some(e) => e.merge(cfg_err),
+            None => cfg_err,
+        });
+    }
+    if let Some(e) = err {
+        return Err(e);
+    }
     let rep_ids: Vec<u64> = (0..u64::from(reps)).collect();
-    sudc_par::par_map(&rep_ids, |_, &rep| {
+    Ok(sudc_par::par_map(&rep_ids, |_, &rep| {
         let seed = Rng64::stream(base_seed, rep).next_u64();
         kernel::run(cfg, seed)
-    })
+    }))
 }
 
 /// Cross-replication aggregate of a simulation study.
@@ -41,10 +75,20 @@ pub fn replicate(cfg: &SimConfig, reps: u32, base_seed: u64) -> Vec<RunTrace> {
 pub struct SimSummary {
     /// Number of replications aggregated.
     pub reps: u32,
-    /// Mean capture → batch-complete p99 latency, seconds.
+    /// Mean capture → batch-complete p99 latency, seconds, averaged over
+    /// the replications that processed at least one image
+    /// ([`SimSummary::processing_p99_reps`]); 0 when none did.
     pub mean_processing_p99: f64,
-    /// Mean capture → ground-delivery p99 latency, seconds.
+    /// Replications with at least one processing-latency sample — the
+    /// population behind [`SimSummary::mean_processing_p99`].
+    pub processing_p99_reps: u32,
+    /// Mean capture → ground-delivery p99 latency, seconds, averaged over
+    /// the replications that delivered at least one insight
+    /// ([`SimSummary::delivery_p99_reps`]); 0 when none did.
     pub mean_delivery_p99: f64,
+    /// Replications with at least one delivery-latency sample — the
+    /// population behind [`SimSummary::mean_delivery_p99`].
+    pub delivery_p99_reps: u32,
     /// Mean time-average images awaiting batch dispatch.
     pub mean_batch_queue: f64,
     /// Mean time-average insights awaiting downlink.
@@ -65,16 +109,62 @@ impl SimSummary {
     ///
     /// # Panics
     ///
-    /// Panics if `traces` is empty.
+    /// Panics if `traces` is empty (see [`SimSummary::try_from_traces`]).
     #[must_use]
     pub fn from_traces(traces: Vec<RunTrace>) -> Self {
-        assert!(!traces.is_empty(), "cannot summarize zero replications");
+        match Self::try_from_traces(traces) {
+            Ok(summary) => summary,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible form of [`SimSummary::from_traces`].
+    ///
+    /// The p99 aggregates average only over replications whose latency
+    /// population is non-empty: a short run that never completed a batch
+    /// used to contribute a silent `p99 = 0` and bias the mean downward.
+    /// The populations' sizes are surfaced as
+    /// [`SimSummary::processing_p99_reps`] / [`SimSummary::delivery_p99_reps`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a structured error if `traces` is empty.
+    pub fn try_from_traces(traces: Vec<RunTrace>) -> Result<Self, SudcError> {
+        if traces.is_empty() {
+            return Err(SudcError::single(
+                "SimSummary",
+                "traces.len()",
+                0,
+                "at least one replication (cannot summarize zero replications)",
+            ));
+        }
         let n = traces.len() as f64;
         let mean = |f: &dyn Fn(&RunTrace) -> f64| traces.iter().map(f).sum::<f64>() / n;
-        Self {
+        let p99_over_sampled = |f: &dyn Fn(&RunTrace) -> LatencySummary| {
+            let mut sum = 0.0;
+            let mut sampled = 0u32;
+            for t in &traces {
+                let s = f(t);
+                if s.count > 0 {
+                    sum += s.p99;
+                    sampled += 1;
+                }
+            }
+            if sampled == 0 {
+                (0.0, 0)
+            } else {
+                (sum / f64::from(sampled), sampled)
+            }
+        };
+        let (mean_processing_p99, processing_p99_reps) =
+            p99_over_sampled(&RunTrace::processing_latency);
+        let (mean_delivery_p99, delivery_p99_reps) = p99_over_sampled(&RunTrace::delivery_latency);
+        Ok(Self {
             reps: traces.len() as u32,
-            mean_processing_p99: mean(&|t| t.processing_latency().p99),
-            mean_delivery_p99: mean(&|t| t.delivery_latency().p99),
+            mean_processing_p99,
+            processing_p99_reps,
+            mean_delivery_p99,
+            delivery_p99_reps,
             mean_batch_queue: mean(&RunTrace::mean_batch_queue),
             mean_downlink_backlog: mean(&RunTrace::mean_downlink_backlog),
             mean_utilization: mean(&RunTrace::compute_utilization),
@@ -82,17 +172,31 @@ impl SimSummary {
             end_full_fraction: mean(&|t| f64::from(u8::from(t.ends_at_full_capability()))),
             mean_delivered_per_hour: mean(&RunTrace::delivered_per_hour),
             traces,
-        }
+        })
     }
 
     /// Runs a full study: `reps` replications of `cfg`, aggregated.
     ///
     /// # Panics
     ///
-    /// Panics if `reps` is zero or `cfg` is invalid.
+    /// Panics if `reps` is zero or `cfg` is invalid (see
+    /// [`SimSummary::try_study`]).
     #[must_use]
     pub fn study(cfg: &SimConfig, reps: u32, base_seed: u64) -> Self {
-        Self::from_traces(replicate(cfg, reps, base_seed))
+        match Self::try_study(cfg, reps, base_seed) {
+            Ok(summary) => summary,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible form of [`SimSummary::study`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a structured error if `reps` is zero or `cfg` fails
+    /// [`SimConfig::try_validate`].
+    pub fn try_study(cfg: &SimConfig, reps: u32, base_seed: u64) -> Result<Self, SudcError> {
+        Self::try_from_traces(try_replicate(cfg, reps, base_seed)?)
     }
 
     /// The per-replication traces, in replication order.
@@ -163,5 +267,53 @@ mod tests {
         let summary = SimSummary::from_traces(traces);
         assert!((summary.mean_utilization - expected).abs() < 1e-12);
         assert_eq!(summary.reps, 3);
+    }
+
+    #[test]
+    fn empty_latency_populations_do_not_bias_the_p99_mean() {
+        // Regression: a run too short to deliver anything used to
+        // contribute p99 = 0 to the mean. Mix long and short runs and
+        // check the mean only averages the populated replications.
+        let long = SimConfig::reference_operations(Seconds::new(900.0));
+        let mut traces = replicate(&long, 2, DEFAULT_SEED);
+        // 10 s is far below the first contact window: nothing delivers.
+        let short = SimConfig::reference_operations(Seconds::new(10.0));
+        traces.extend(replicate(&short, 1, DEFAULT_SEED));
+        let empties = traces
+            .iter()
+            .filter(|t| t.delivery_latency().count == 0)
+            .count();
+        assert_eq!(empties, 1, "short run must have no deliveries");
+
+        let populated_mean: f64 = traces
+            .iter()
+            .map(|t| t.delivery_latency())
+            .filter(|s| s.count > 0)
+            .map(|s| s.p99)
+            .sum::<f64>()
+            / 2.0;
+        let summary = SimSummary::from_traces(traces);
+        assert_eq!(summary.reps, 3);
+        assert_eq!(summary.delivery_p99_reps, 2);
+        assert!((summary.mean_delivery_p99 - populated_mean).abs() < 1e-12);
+        // The biased estimator would have divided the same sum by 3.
+        assert!(summary.mean_delivery_p99 > populated_mean * 2.0 / 3.0 + 1e-9);
+    }
+
+    #[test]
+    fn try_forms_reject_bad_studies_with_structured_errors() {
+        let cfg = SimConfig::reference_operations(Seconds::new(600.0));
+        let err = try_replicate(&cfg, 0, DEFAULT_SEED).unwrap_err();
+        assert!(err.to_string().contains("reps"), "{err}");
+
+        let mut bad = cfg;
+        bad.filtering = f64::NAN;
+        bad.required = bad.nodes + 1;
+        let err = try_replicate(&bad, 0, DEFAULT_SEED).unwrap_err();
+        // One combined report: zero reps + both config violations.
+        assert_eq!(err.violations().len(), 3, "{err}");
+
+        let err = SimSummary::try_from_traces(Vec::new()).unwrap_err();
+        assert!(err.to_string().contains("zero replications"), "{err}");
     }
 }

@@ -7,6 +7,7 @@
 //! least squares in log space (the standard CER regression form,
 //! `ln cost = ln a + b·ln driver`).
 
+use sudc_errors::{Diagnostics, SudcError};
 use sudc_units::Usd;
 
 use crate::cer::Cer;
@@ -37,26 +38,36 @@ pub struct CerFit {
 ///
 /// Panics if fewer than two observations are supplied, if any observation
 /// has a non-positive driver or cost, or if all drivers are identical
-/// (the exponent would be unidentifiable).
+/// (the exponent would be unidentifiable). See [`try_fit_cer`].
 #[must_use]
 pub fn fit_cer(observations: &[Observation]) -> CerFit {
-    assert!(
+    match try_fit_cer(observations) {
+        Ok(fit) => fit,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible form of [`fit_cer`], reporting every invalid observation in
+/// one pass before attempting the regression.
+///
+/// # Errors
+///
+/// Returns a structured error if fewer than two observations are supplied,
+/// if any observation has a non-positive or non-finite driver or cost, or
+/// if all drivers are identical (the exponent would be unidentifiable).
+pub fn try_fit_cer(observations: &[Observation]) -> Result<CerFit, SudcError> {
+    let mut d = Diagnostics::new("CER fit");
+    d.ensure(
         observations.len() >= 2,
-        "need at least two observations, got {}",
-        observations.len()
+        "observations.len()",
+        observations.len(),
+        "at least two observations",
     );
     for (i, o) in observations.iter().enumerate() {
-        assert!(
-            o.driver > 0.0 && o.driver.is_finite(),
-            "observation {i}: driver must be positive, got {}",
-            o.driver
-        );
-        assert!(
-            o.cost.value() > 0.0 && o.cost.is_finite(),
-            "observation {i}: cost must be positive, got {}",
-            o.cost
-        );
+        d.positive(format!("observations[{i}].driver"), o.driver);
+        d.positive(format!("observations[{i}].cost"), o.cost.value());
     }
+    d.finish()?;
 
     let n = observations.len() as f64;
     let xs: Vec<f64> = observations.iter().map(|o| o.driver.ln()).collect();
@@ -64,10 +75,14 @@ pub fn fit_cer(observations: &[Observation]) -> CerFit {
     let x_mean = xs.iter().sum::<f64>() / n;
     let y_mean = ys.iter().sum::<f64>() / n;
     let sxx: f64 = xs.iter().map(|x| (x - x_mean).powi(2)).sum();
-    assert!(
-        sxx > 1e-12,
-        "all drivers are identical; exponent is unidentifiable"
-    );
+    if sxx <= 1e-12 {
+        return Err(SudcError::single(
+            "CER fit",
+            "observations[..].driver",
+            observations[0].driver,
+            "at least two distinct drivers (identical drivers make the exponent unidentifiable)",
+        ));
+    }
     let sxy: f64 = xs
         .iter()
         .zip(&ys)
@@ -93,11 +108,11 @@ pub fn fit_cer(observations: &[Observation]) -> CerFit {
         1.0
     };
 
-    CerFit {
-        cer: Cer::new(base, reference, exponent.clamp(0.0, 2.0)),
+    Ok(CerFit {
+        cer: Cer::try_new(base, reference, exponent.clamp(0.0, 2.0))?,
         r_squared,
         observations: observations.len(),
-    }
+    })
 }
 
 /// Generates observations from an existing CER (useful for round-trip

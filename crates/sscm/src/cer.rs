@@ -6,6 +6,7 @@
 //! coefficient interpretable: `base` is the cost at the reference design
 //! and `exponent` is the scaling elasticity found by regression.
 
+use sudc_errors::{Diagnostics, SudcError};
 use sudc_units::Usd;
 
 /// A normalized power-law cost-estimating relationship.
@@ -24,22 +25,40 @@ impl Cer {
     ///
     /// # Panics
     ///
-    /// Panics if `reference` is not positive or `exponent` is negative.
+    /// Panics if `reference` is not positive or `exponent` is outside
+    /// `[0, 2]` (see [`Cer::try_new`]).
     #[must_use]
     pub fn new(base: Usd, reference: f64, exponent: f64) -> Self {
-        assert!(
+        match Self::try_new(base, reference, exponent) {
+            Ok(cer) => cer,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible form of [`Cer::new`], reporting every invalid coefficient
+    /// in one pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns a structured error if `base` is non-finite, `reference` is
+    /// not positive and finite, or `exponent` is outside `[0, 2]`.
+    pub fn try_new(base: Usd, reference: f64, exponent: f64) -> Result<Self, SudcError> {
+        let mut d = Diagnostics::new("Cer");
+        d.finite("base", base.value());
+        d.ensure(
             reference > 0.0 && reference.is_finite(),
-            "CER reference must be positive and finite, got {reference}"
+            "reference",
+            reference,
+            "a positive, finite reference driver",
         );
-        assert!(
-            (0.0..=2.0).contains(&exponent),
-            "CER exponent must be in [0, 2], got {exponent}"
-        );
-        Self {
+        if d.finite("exponent", exponent) {
+            d.in_range("exponent", exponent, 0.0, 2.0);
+        }
+        d.into_result(Self {
             base,
             reference,
             exponent,
-        }
+        })
     }
 
     /// Evaluates the CER at a driver value.

@@ -5,6 +5,7 @@
 //! while the total cost of each subsequent satellite is given by RE costs
 //! alone."
 
+use sudc_errors::{Diagnostics, SudcError};
 use sudc_units::Usd;
 
 use crate::subsystems::Subsystem;
@@ -39,19 +40,36 @@ impl CostEstimate {
     ///
     /// # Panics
     ///
-    /// Panics if a subsystem appears twice.
+    /// Panics if a subsystem appears twice (see
+    /// [`CostEstimate::try_new`]).
     #[must_use]
     pub fn new(items: Vec<SubsystemCost>) -> Self {
-        for (i, a) in items.iter().enumerate() {
-            for b in &items[i + 1..] {
-                assert!(
-                    a.subsystem != b.subsystem,
-                    "duplicate subsystem {} in estimate",
-                    a.subsystem
+        match Self::try_new(items) {
+            Ok(est) => est,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible form of [`CostEstimate::new`], reporting *every* duplicated
+    /// subsystem and non-finite cost line in one pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns a structured error naming each offending item index.
+    pub fn try_new(items: Vec<SubsystemCost>) -> Result<Self, SudcError> {
+        let mut d = Diagnostics::new("CostEstimate");
+        for (i, item) in items.iter().enumerate() {
+            d.finite(format!("items[{i}].nre"), item.nre.value());
+            d.finite(format!("items[{i}].re"), item.re.value());
+            if items[..i].iter().any(|a| a.subsystem == item.subsystem) {
+                d.violation(
+                    format!("items[{i}].subsystem"),
+                    item.subsystem,
+                    "each subsystem at most once (duplicate subsystem in estimate)",
                 );
             }
         }
-        Self { items }
+        d.into_result(Self { items })
     }
 
     /// Per-subsystem line items.
@@ -92,18 +110,45 @@ impl CostEstimate {
     ///
     /// # Panics
     ///
-    /// Panics if `n` is zero.
+    /// Panics if `n` is zero (see [`CostEstimate::try_fleet_cost`]).
     #[must_use]
     pub fn fleet_cost(&self, n: u32) -> Usd {
-        assert!(n > 0, "fleet must contain at least one satellite");
-        self.nre_total() + self.recurring_unit() * f64::from(n)
+        match self.try_fleet_cost(n) {
+            Ok(cost) => cost,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible form of [`CostEstimate::fleet_cost`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a structured error if `n` is zero.
+    pub fn try_fleet_cost(&self, n: u32) -> Result<Usd, SudcError> {
+        if n == 0 {
+            return Err(SudcError::single(
+                "CostEstimate::fleet_cost",
+                "n",
+                n,
+                "a fleet must contain at least one satellite",
+            ));
+        }
+        Ok(self.nre_total() + self.recurring_unit() * f64::from(n))
     }
 
     /// Share of the first-unit cost attributable to one subsystem.
+    ///
+    /// An all-zero estimate (every NRE and RE at `Usd::ZERO`) has no
+    /// meaningful shares; every subsystem's share is reported as 0 rather
+    /// than NaN so downstream JSON artifacts stay well-formed.
     #[must_use]
     pub fn share_of(&self, subsystem: Subsystem) -> f64 {
+        let first_unit = self.first_unit();
+        if first_unit.value() == 0.0 {
+            return 0.0;
+        }
         self.cost_of(subsystem)
-            .map_or(0.0, |c| c.total() / self.first_unit())
+            .map_or(0.0, |c| c.total() / first_unit)
     }
 }
 
@@ -173,5 +218,54 @@ mod tests {
     #[should_panic(expected = "at least one satellite")]
     fn zero_fleet_panics() {
         let _ = sample().fleet_cost(0);
+    }
+
+    #[test]
+    fn all_zero_estimate_has_zero_shares_not_nan() {
+        // Regression: `share_of` used to divide by a zero first-unit cost
+        // and return NaN, which poisoned downstream JSON as `null`.
+        let est = CostEstimate::new(vec![
+            SubsystemCost {
+                subsystem: Subsystem::Structure,
+                nre: Usd::ZERO,
+                re: Usd::ZERO,
+            },
+            SubsystemCost {
+                subsystem: Subsystem::Power,
+                nre: Usd::ZERO,
+                re: Usd::ZERO,
+            },
+        ]);
+        for s in [Subsystem::Structure, Subsystem::Power, Subsystem::Ttc] {
+            let share = est.share_of(s);
+            assert_eq!(share, 0.0, "{s}: {share}");
+        }
+    }
+
+    #[test]
+    fn try_new_collects_every_duplicate() {
+        let item = |s| SubsystemCost {
+            subsystem: s,
+            nre: Usd::ZERO,
+            re: Usd::ZERO,
+        };
+        let err = CostEstimate::try_new(vec![
+            item(Subsystem::Cdh),
+            item(Subsystem::Cdh),
+            item(Subsystem::Ttc),
+            item(Subsystem::Ttc),
+        ])
+        .unwrap_err();
+        assert_eq!(err.violations().len(), 2);
+        assert_eq!(err.violations()[0].path, "items[1].subsystem");
+        assert_eq!(err.violations()[1].path, "items[3].subsystem");
+    }
+
+    #[test]
+    fn try_fleet_cost_matches_fleet_cost() {
+        let est = sample();
+        assert_eq!(est.try_fleet_cost(3).unwrap(), est.fleet_cost(3));
+        let err = est.try_fleet_cost(0).unwrap_err();
+        assert!(err.to_string().contains("at least one satellite"));
     }
 }

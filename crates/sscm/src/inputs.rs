@@ -4,6 +4,7 @@
 //! from a SµDC design via the physics substrates (power, thermal, comms,
 //! orbital); they can also be constructed directly for what-if studies.
 
+use sudc_errors::{Diagnostics, SudcError};
 use sudc_units::{GigabitsPerSecond, Kilograms, Usd, Watts, Years};
 
 /// Driver parameters for one satellite cost estimate.
@@ -63,7 +64,22 @@ impl SscmInputs {
     ///
     /// Returns a message naming the offending field if any mass or power is
     /// negative/non-finite, or if component masses exceed the dry mass.
+    /// Thin wrapper over [`SscmInputs::try_validate`], kept for call sites
+    /// that only want a displayable message.
     pub fn validate(&self) -> Result<(), String> {
+        self.try_validate().map_err(|e| e.to_string())
+    }
+
+    /// Structured form of [`SscmInputs::validate`], reporting *every*
+    /// offending field in one pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SudcError`] with one violation per out-of-range field,
+    /// plus a mass-budget violation if the component masses exceed the dry
+    /// mass.
+    pub fn try_validate(&self) -> Result<(), SudcError> {
+        let mut d = Diagnostics::new("SscmInputs");
         let checks = [
             ("lifetime", self.lifetime.value()),
             ("bol_power", self.bol_power.value()),
@@ -76,19 +92,29 @@ impl SscmInputs {
             ("pointing_arcsec", self.pointing_arcsec),
             ("compute_hardware_cost", self.compute_hardware_cost.value()),
         ];
+        let mut masses_ok = true;
         for (name, v) in checks {
-            if !v.is_finite() || v < 0.0 {
-                return Err(format!("{name} must be finite and non-negative, got {v}"));
+            let ok = d.non_negative(name, v);
+            if matches!(
+                name,
+                "dry_mass" | "structure_mass" | "thermal_mass" | "power_mass"
+            ) {
+                masses_ok &= ok;
             }
         }
-        let components = self.structure_mass + self.thermal_mass + self.power_mass;
-        if components > self.dry_mass * 1.001 {
-            return Err(format!(
-                "component masses ({components}) exceed dry mass ({})",
-                self.dry_mass
-            ));
+        if masses_ok {
+            let components = self.structure_mass + self.thermal_mass + self.power_mass;
+            d.ensure(
+                components <= self.dry_mass * 1.001,
+                "structure_mass + thermal_mass + power_mass",
+                components,
+                format!(
+                    "component masses must not exceed dry mass ({})",
+                    self.dry_mass
+                ),
+            );
         }
-        Ok(())
+        d.finish()
     }
 }
 

@@ -36,4 +36,5 @@ pub mod wright;
 pub use estimate::{CostEstimate, SubsystemCost};
 pub use inputs::SscmInputs;
 pub use subsystems::Subsystem;
+pub use sudc_errors::{Diagnostics, SudcError, Violation};
 pub use wright::LearningCurve;

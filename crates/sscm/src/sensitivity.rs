@@ -5,6 +5,7 @@
 //! the headline results actually lean on. This module perturbs one driver
 //! at a time and reports the first-unit-cost swing.
 
+use sudc_errors::SudcError;
 use sudc_units::Usd;
 
 use crate::inputs::SscmInputs;
@@ -103,41 +104,67 @@ pub struct SensitivityBar {
 ///
 /// # Panics
 ///
-/// Panics if `perturbation` is not in (0, 1).
+/// Panics if `perturbation` is not in (0, 1) or the inputs are invalid
+/// (see [`try_tornado`]).
 #[must_use]
 pub fn tornado(
     cers: &SubsystemCers,
     inputs: &SscmInputs,
     perturbation: f64,
 ) -> Vec<SensitivityBar> {
-    assert!(
-        perturbation > 0.0 && perturbation < 1.0,
-        "perturbation must be in (0, 1), got {perturbation}"
-    );
-    let nominal = cers.estimate(inputs).first_unit();
+    match try_tornado(cers, inputs, perturbation) {
+        Ok(bars) => bars,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible form of [`tornado`]: validates the perturbation and the
+/// nominal inputs before fanning out the per-driver re-estimates.
+///
+/// # Errors
+///
+/// Returns a structured error if `perturbation` is outside (0, 1) or the
+/// nominal inputs fail [`SscmInputs::try_validate`].
+pub fn try_tornado(
+    cers: &SubsystemCers,
+    inputs: &SscmInputs,
+    perturbation: f64,
+) -> Result<Vec<SensitivityBar>, SudcError> {
+    if !(perturbation.is_finite() && perturbation > 0.0 && perturbation < 1.0) {
+        return Err(SudcError::single(
+            "tornado analysis",
+            "perturbation",
+            perturbation,
+            "a perturbation in (0, 1)",
+        ));
+    }
+    let nominal = cers.try_estimate(inputs)?.first_unit();
     // Each driver's low/high re-estimate is independent: fan out on the
     // workspace executor; the stable sort below keeps report order
-    // deterministic regardless of thread count.
-    let mut bars: Vec<SensitivityBar> = sudc_par::par_map(&Driver::all(), |_, &driver| {
+    // deterministic regardless of thread count. Perturbed inputs can fail
+    // validation even when the nominal ones pass (e.g. scaling dry mass
+    // down below the fixed component masses), so each arm is fallible.
+    let results = sudc_par::par_map(&Driver::all(), |_, &driver| {
         let low = cers
-            .estimate(&driver.apply(inputs, 1.0 - perturbation))
+            .try_estimate(&driver.apply(inputs, 1.0 - perturbation))?
             .first_unit();
         let high = cers
-            .estimate(&driver.apply(inputs, 1.0 + perturbation))
+            .try_estimate(&driver.apply(inputs, 1.0 + perturbation))?
             .first_unit();
-        SensitivityBar {
+        Ok(SensitivityBar {
             driver,
             low,
             high,
             relative_swing: (high - low).abs() / nominal,
-        }
+        })
     });
-    bars.sort_by(|a, b| {
-        b.relative_swing
-            .partial_cmp(&a.relative_swing)
-            .expect("finite swings")
-    });
-    bars
+    let mut bars = results
+        .into_iter()
+        .collect::<Result<Vec<SensitivityBar>, SudcError>>()?;
+    // total_cmp: a zero-cost estimate yields NaN swings, which must not
+    // panic the sort.
+    bars.sort_by(|a, b| b.relative_swing.total_cmp(&a.relative_swing));
+    Ok(bars)
 }
 
 #[cfg(test)]

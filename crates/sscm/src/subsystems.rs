@@ -8,6 +8,7 @@
 //! RE costs increase with lifetime, as additional reliability features are
 //! required").
 
+use sudc_errors::SudcError;
 use sudc_units::{Usd, Years};
 
 use crate::cer::Cer;
@@ -172,12 +173,25 @@ impl SubsystemCers {
     ///
     /// # Panics
     ///
-    /// Panics if the inputs fail [`SscmInputs::validate`].
+    /// Panics if the inputs fail [`SscmInputs::validate`] (see
+    /// [`SubsystemCers::try_estimate`]).
     #[must_use]
     pub fn estimate(&self, inputs: &SscmInputs) -> CostEstimate {
-        if let Err(msg) = inputs.validate() {
-            panic!("invalid SSCM inputs: {msg}");
+        match self.try_estimate(inputs) {
+            Ok(est) => est,
+            Err(e) => panic!("invalid SSCM inputs: {e}"),
         }
+    }
+
+    /// Fallible form of [`SubsystemCers::estimate`]: validates the inputs
+    /// (reporting every offending field) before evaluating any CER.
+    ///
+    /// # Errors
+    ///
+    /// Returns the structured validation error from
+    /// [`SscmInputs::try_validate`].
+    pub fn try_estimate(&self, inputs: &SscmInputs) -> Result<CostEstimate, SudcError> {
+        inputs.try_validate()?;
         let factor = Self::lifetime_factor(inputs.lifetime);
         let pointing_weight =
             (self.reference_pointing_arcsec / inputs.pointing_arcsec.max(1e-3)).powf(0.5);
@@ -244,7 +258,7 @@ impl SubsystemCers {
             re: re_subtotal * self.program_re_fraction,
         });
 
-        CostEstimate::new(items)
+        CostEstimate::try_new(items)
     }
 
     fn item(subsystem: Subsystem, pair: CerPair, driver: f64, factor: f64) -> SubsystemCost {

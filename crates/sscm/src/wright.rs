@@ -5,6 +5,7 @@
 //! ratios are historically strong — `b ∈ [0.7, 0.8]` — which is what makes
 //! distributed constellations of small SµDCs cheaper than monoliths.
 
+use sudc_errors::SudcError;
 use sudc_units::Usd;
 
 /// A Wright's-law learning curve.
@@ -20,14 +21,33 @@ impl LearningCurve {
     /// # Panics
     ///
     /// Panics if `progress_ratio` is outside `(0, 1]` — a ratio above 1
-    /// would mean costs *grow* with experience.
+    /// would mean costs *grow* with experience (see
+    /// [`LearningCurve::try_new`]).
     #[must_use]
     pub fn new(progress_ratio: f64) -> Self {
-        assert!(
-            progress_ratio > 0.0 && progress_ratio <= 1.0,
-            "progress ratio must be in (0, 1], got {progress_ratio}"
-        );
-        Self { progress_ratio }
+        match Self::try_new(progress_ratio) {
+            Ok(curve) => curve,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible form of [`LearningCurve::new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a structured error if `progress_ratio` is NaN/±∞ or outside
+    /// `(0, 1]`.
+    pub fn try_new(progress_ratio: f64) -> Result<Self, SudcError> {
+        if progress_ratio.is_finite() && progress_ratio > 0.0 && progress_ratio <= 1.0 {
+            Ok(Self { progress_ratio })
+        } else {
+            Err(SudcError::single(
+                "LearningCurve",
+                "progress_ratio",
+                progress_ratio,
+                "a progress ratio in (0, 1]",
+            ))
+        }
     }
 
     /// The paper's Fig. 22 assumption (`b = 0.75`).
@@ -55,8 +75,27 @@ impl LearningCurve {
     /// ```
     #[must_use]
     pub fn unit_cost(&self, first_unit: Usd, n: u32) -> Usd {
-        assert!(n > 0, "unit index must be at least 1");
-        first_unit * f64::from(n).powf(self.progress_ratio.log2())
+        match self.try_unit_cost(first_unit, n) {
+            Ok(cost) => cost,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible form of [`LearningCurve::unit_cost`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a structured error if `n` is zero.
+    pub fn try_unit_cost(&self, first_unit: Usd, n: u32) -> Result<Usd, SudcError> {
+        if n == 0 {
+            return Err(SudcError::single(
+                "LearningCurve::unit_cost",
+                "n",
+                n,
+                "a unit index of at least 1",
+            ));
+        }
+        Ok(first_unit * f64::from(n).powf(self.progress_ratio.log2()))
     }
 
     /// Total cost of units `1..=n` (direct summation — exact, not the
@@ -70,11 +109,31 @@ impl LearningCurve {
     ///
     /// # Panics
     ///
-    /// Panics if `n` is zero.
+    /// Panics if `n` is zero (see [`LearningCurve::try_average_cost`]).
     #[must_use]
     pub fn average_cost(&self, first_unit: Usd, n: u32) -> Usd {
-        assert!(n > 0, "average over an empty run is undefined");
-        self.cumulative_cost(first_unit, n) / f64::from(n)
+        match self.try_average_cost(first_unit, n) {
+            Ok(cost) => cost,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible form of [`LearningCurve::average_cost`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a structured error if `n` is zero (the average over an
+    /// empty run is undefined).
+    pub fn try_average_cost(&self, first_unit: Usd, n: u32) -> Result<Usd, SudcError> {
+        if n == 0 {
+            return Err(SudcError::single(
+                "LearningCurve::average_cost",
+                "n",
+                n,
+                "a non-empty run (the average over an empty run is undefined)",
+            ));
+        }
+        Ok(self.cumulative_cost(first_unit, n) / f64::from(n))
     }
 }
 

@@ -29,6 +29,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use sudc_errors::{Diagnostics, SudcError, Violation};
+
 /// Defines an `f64`-backed quantity newtype with standard arithmetic.
 ///
 /// The generated type derives the common traits (`Copy`, `Clone`, ordering,
@@ -65,6 +67,29 @@ macro_rules! quantity {
             #[must_use]
             pub const fn new(value: f64) -> Self {
                 Self(value)
+            }
+
+            /// Fallible constructor: rejects NaN and ±∞ with a structured
+            /// diagnostic naming the quantity type.
+            ///
+            /// [`new`](Self::new) stays available for trusted (e.g.
+            /// compile-time constant) values; `try_new` is the entry point
+            /// for caller-supplied parameters.
+            ///
+            /// # Errors
+            ///
+            /// Returns a [`$crate::SudcError`] if `value` is not finite.
+            pub fn try_new(value: f64) -> ::core::result::Result<Self, $crate::SudcError> {
+                if value.is_finite() {
+                    Ok(Self(value))
+                } else {
+                    Err($crate::SudcError::single(
+                        stringify!($name),
+                        concat!(stringify!($name), ".value"),
+                        value,
+                        "a finite number",
+                    ))
+                }
             }
 
             /// Returns the raw value in base units.
@@ -593,6 +618,19 @@ mod tests {
     fn from_quantity_for_f64() {
         let x: f64 = Watts::new(7.0).into();
         assert_eq!(x, 7.0);
+    }
+
+    #[test]
+    fn try_new_accepts_finite_and_rejects_non_finite() {
+        assert_eq!(Watts::try_new(42.5).unwrap(), Watts::new(42.5));
+        assert_eq!(Usd::try_new(-3.0).unwrap(), Usd::new(-3.0));
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = Kilograms::try_new(bad).unwrap_err();
+            let msg = err.to_string();
+            assert!(msg.contains("Kilograms"), "{msg}");
+            assert_eq!(err.violations().len(), 1);
+            assert_eq!(err.violations()[0].path, "Kilograms.value");
+        }
     }
 
     #[test]

@@ -27,6 +27,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+/// Structured validation errors and diagnostics (the `try_*` error type).
+pub use sudc_errors as errors;
+
 /// Typed physical and economic quantities.
 pub use sudc_units as units;
 

@@ -1,0 +1,440 @@
+//! Adversarial panic-freedom harness over the workspace's public `try_*`
+//! entry points.
+//!
+//! Every fallible constructor/validator introduced by the structured-error
+//! work is driven with hostile numeric inputs — NaN, ±∞, negatives, zeros,
+//! huge magnitudes, signed zero, and subnormal-adjacent values — and must
+//! return `Ok` or a *structured* `Err` (non-empty violation list, each
+//! violation naming a parameter path and an allowed range). A panic anywhere
+//! fails the test.
+//!
+//! Case counts honour `SUDC_PROPTEST_CASES` so CI can run a reduced smoke
+//! pass (see `.github/workflows/ci.yml`).
+
+use proptest::prelude::*;
+use space_udc::core::dynamics::DynamicScenario;
+use space_udc::core::tco::TcoReport;
+use space_udc::core::{Scenario, SuDcDesign};
+use space_udc::errors::SudcError;
+use space_udc::par::json::Json;
+use space_udc::par::rng::Rng64;
+use space_udc::sim::{try_percentile, try_replicate, SimConfig, SimSummary, DEFAULT_SEED};
+use space_udc::sscm::calibration::{try_fit_cer, Observation};
+use space_udc::sscm::cer::Cer;
+use space_udc::sscm::sensitivity::try_tornado;
+use space_udc::sscm::subsystems::SubsystemCers;
+use space_udc::sscm::{CostEstimate, LearningCurve, SscmInputs, Subsystem, SubsystemCost};
+use space_udc::units::{Kilograms, Seconds, Usd, Watts, Years};
+
+/// Property case count, overridable for CI smoke runs.
+fn cases() -> u32 {
+    std::env::var("SUDC_PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(48)
+}
+
+/// Maps a selector to one of eight hostile floats. `mag` (drawn from
+/// `1.0..9.0`) varies the huge/negative magnitudes across cases.
+fn hostile(sel: u32, mag: f64) -> f64 {
+    match sel % 8 {
+        0 => f64::NAN,
+        1 => f64::INFINITY,
+        2 => f64::NEG_INFINITY,
+        3 => -mag,
+        4 => 0.0,
+        5 => mag * 1e300,
+        6 => -0.0,
+        _ => f64::MIN_POSITIVE,
+    }
+}
+
+/// A structured error carries at least one violation, and every violation
+/// names a parameter path and an allowed range.
+fn structured(e: &SudcError) -> bool {
+    !e.context().is_empty()
+        && !e.violations().is_empty()
+        && e.violations()
+            .iter()
+            .all(|v| !v.path.is_empty() && !v.allowed.is_empty())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases()))]
+
+    #[test]
+    fn units_try_new_accepts_exactly_finite(sel in 0u32..8, mag in 1.0..9.0f64) {
+        let h = hostile(sel, mag);
+        for result in [
+            Watts::try_new(h).map(|_| ()),
+            Kilograms::try_new(h).map(|_| ()),
+            Years::try_new(h).map(|_| ()),
+            Usd::try_new(h).map(|_| ()),
+        ] {
+            prop_assert_eq!(result.is_ok(), h.is_finite());
+            if let Err(e) = result {
+                prop_assert!(structured(&e), "{e}");
+            }
+        }
+    }
+
+    #[test]
+    fn cer_try_new_survives_hostile_inputs(
+        s1 in 0u32..8, s2 in 0u32..8, s3 in 0u32..8, mag in 1.0..9.0f64,
+    ) {
+        let (base, reference, exponent) = (hostile(s1, mag), hostile(s2, mag), hostile(s3, mag));
+        let result = Cer::try_new(Usd::new(base), reference, exponent);
+        let valid = base.is_finite()
+            && reference.is_finite()
+            && reference > 0.0
+            && (0.0..=2.0).contains(&exponent);
+        prop_assert_eq!(result.is_ok(), valid);
+        if let Err(e) = result {
+            prop_assert!(structured(&e), "{e}");
+        }
+    }
+
+    #[test]
+    fn cer_valid_inputs_always_build(
+        base in 0.1..500.0f64, reference in 0.1..500.0f64, exponent in 0.0..2.0f64,
+    ) {
+        prop_assert!(Cer::try_new(Usd::from_millions(base), reference, exponent).is_ok());
+    }
+
+    #[test]
+    fn learning_curve_try_new_accepts_exactly_half_open_unit(sel in 0u32..8, mag in 1.0..9.0f64) {
+        let h = hostile(sel, mag);
+        let result = LearningCurve::try_new(h);
+        let valid = h.is_finite() && h > 0.0 && h <= 1.0;
+        prop_assert_eq!(result.is_ok(), valid);
+        if let Err(e) = result {
+            prop_assert!(structured(&e), "{e}");
+        }
+    }
+
+    #[test]
+    fn wright_cost_queries_never_panic(n in 0u32..5, sel in 0u32..8, mag in 1.0..9.0f64) {
+        let curve = LearningCurve::try_new(0.9).expect("0.9 is a valid progress ratio");
+        let first_unit = Usd::new(hostile(sel, mag));
+        for result in [
+            curve.try_unit_cost(first_unit, n).map(|_| ()),
+            curve.try_average_cost(first_unit, n).map(|_| ()),
+        ] {
+            if n == 0 {
+                prop_assert!(result.is_err());
+            }
+            if let Err(e) = result {
+                prop_assert!(structured(&e), "{e}");
+            }
+        }
+    }
+
+    #[test]
+    fn sscm_inputs_try_validate_flags_hostile_fields(
+        field in 0u32..10, sel in 0u32..8, mag in 1.0..9.0f64,
+    ) {
+        let h = hostile(sel, mag);
+        let mut inputs = SscmInputs::reference();
+        match field {
+            0 => inputs.lifetime = Years::new(h),
+            1 => inputs.bol_power = Watts::new(h),
+            2 => inputs.dry_mass = Kilograms::new(h),
+            3 => inputs.fuel_mass = Kilograms::new(h),
+            4 => inputs.structure_mass = Kilograms::new(h),
+            5 => inputs.thermal_mass = Kilograms::new(h),
+            6 => inputs.power_mass = Kilograms::new(h),
+            7 => inputs.rf_equivalent_rate = space_udc::units::GigabitsPerSecond::new(h),
+            8 => inputs.pointing_arcsec = h,
+            _ => inputs.compute_hardware_cost = Usd::new(h),
+        }
+        let result = inputs.try_validate();
+        if !(h.is_finite() && h >= 0.0) {
+            prop_assert!(result.is_err());
+        }
+        if let Err(e) = result {
+            prop_assert!(structured(&e), "{e}");
+        }
+    }
+
+    #[test]
+    fn cost_estimate_try_new_rejects_exactly_non_finite_items(
+        sel in 0u32..8, mag in 1.0..9.0f64,
+    ) {
+        let h = hostile(sel, mag);
+        let items = vec![
+            SubsystemCost {
+                subsystem: Subsystem::Power,
+                nre: Usd::new(h),
+                re: Usd::from_millions(1.0),
+            },
+            SubsystemCost {
+                subsystem: Subsystem::Thermal,
+                nre: Usd::from_millions(2.0),
+                re: Usd::from_millions(1.0),
+            },
+        ];
+        let result = CostEstimate::try_new(items);
+        prop_assert_eq!(result.is_ok(), h.is_finite());
+        if let Err(e) = result {
+            prop_assert!(structured(&e), "{e}");
+            prop_assert!(
+                e.violations().iter().any(|v| v.path.contains("items[0]")),
+                "{e}"
+            );
+        }
+    }
+
+    #[test]
+    fn fit_cer_survives_hostile_observations(sel in 0u32..8, mag in 1.0..9.0f64) {
+        let h = hostile(sel, mag);
+        let observations = [
+            Observation { driver: 10.0, cost: Usd::from_millions(2.0) },
+            Observation { driver: h, cost: Usd::from_millions(3.0) },
+            Observation { driver: 40.0, cost: Usd::new(h) },
+        ];
+        let result = try_fit_cer(&observations);
+        if !(h.is_finite() && h > 0.0) {
+            prop_assert!(result.is_err());
+        }
+        if let Err(e) = result {
+            prop_assert!(structured(&e), "{e}");
+        }
+    }
+
+    #[test]
+    fn sim_config_try_validate_survives_hostile_fields(
+        field in 0u32..9, sel in 0u32..8, mag in 1.0..9.0f64,
+    ) {
+        let h = hostile(sel, mag);
+        let mut cfg = SimConfig::cold_spare_mission(8, 4, 0.1, 0.5);
+        match field {
+            0 => cfg.tick_seconds = h,
+            1 => cfg.frame_interval_ticks = h,
+            2 => cfg.imaging_duty = h,
+            3 => cfg.phase_spread = h,
+            4 => cfg.filtering = h,
+            5 => cfg.isl_transfer_ticks = h,
+            6 => cfg.mttf_ticks = h,
+            7 => cfg.weibull_shape = h,
+            _ => cfg.dormant_aging = h,
+        }
+        if let Err(e) = cfg.try_validate() {
+            prop_assert!(structured(&e), "{e}");
+        }
+    }
+
+    #[test]
+    fn cold_spare_mission_fuzz(
+        nodes in 0u32..40, required in 0u32..40, sel1 in 0u32..8, sel2 in 0u32..8,
+        mag in 1.0..9.0f64,
+    ) {
+        let aging = hostile(sel1, mag);
+        let duration = hostile(sel2, mag);
+        let result = SimConfig::try_cold_spare_mission(nodes, required, aging, duration);
+        if required == 0 || required > nodes {
+            prop_assert!(result.is_err());
+        }
+        if let Err(e) = result {
+            prop_assert!(structured(&e), "{e}");
+        }
+    }
+
+    #[test]
+    fn percentile_rejects_exactly_out_of_range_quantiles(
+        sel in 0u32..8, mag in 1.0..9.0f64, q in -1.0..2.0f64,
+    ) {
+        let sorted = [1u64, 2, 3, 5, 8];
+        let h = hostile(sel, mag);
+        let hostile_result = try_percentile(&sorted, h);
+        let h_valid = h.is_finite() && (0.0..=1.0).contains(&h);
+        prop_assert_eq!(hostile_result.is_ok(), h_valid);
+        if let Err(e) = hostile_result {
+            prop_assert!(structured(&e), "{e}");
+        }
+        prop_assert_eq!(try_percentile(&sorted, q).is_ok(), (0.0..=1.0).contains(&q));
+    }
+
+    #[test]
+    fn tco_report_try_new_rejects_bad_costs(sel in 0u32..8, mag in 1.0..9.0f64) {
+        let h = hostile(sel, mag);
+        let estimate = SubsystemCers::sudc_default()
+            .try_estimate(&SscmInputs::reference())
+            .expect("reference inputs are valid");
+        let result = TcoReport::try_new(estimate, Usd::new(h), Usd::from_millions(3.0));
+        prop_assert_eq!(result.is_ok(), h.is_finite() && h >= 0.0);
+        if let Err(e) = result {
+            prop_assert!(structured(&e), "{e}");
+        }
+    }
+
+    #[test]
+    fn rng_try_range_validates_before_drawing(
+        sel1 in 0u32..8, sel2 in 0u32..8, mag in 1.0..9.0f64, seed in 0u64..1000,
+    ) {
+        let (lo, hi) = (hostile(sel1, mag), hostile(sel2, mag));
+        let mut rng = Rng64::new(seed);
+        let result = rng.try_range(lo, hi);
+        let valid = lo.is_finite() && hi.is_finite() && lo < hi;
+        prop_assert_eq!(result.is_ok(), valid);
+        if let Err(e) = result {
+            prop_assert!(structured(&e), "{e}");
+        }
+        // A rejected draw must not have consumed randomness.
+        if !valid {
+            let mut fresh = Rng64::new(seed);
+            prop_assert_eq!(rng.next_u64(), fresh.next_u64());
+        }
+    }
+
+    #[test]
+    fn rng_try_below_rejects_exactly_zero(bound in 0u64..10, seed in 0u64..1000) {
+        let result = Rng64::new(seed).try_below(bound);
+        prop_assert_eq!(result.is_ok(), bound > 0);
+        if let Err(e) = result {
+            prop_assert!(structured(&e), "{e}");
+        }
+    }
+
+    #[test]
+    fn json_u64_conversion_is_checked_around_2_pow_53(off in 0u64..1_048_576) {
+        let n = (1u64 << 53) - 524_288 + off;
+        let result = Json::try_from(n);
+        prop_assert_eq!(result.is_ok(), n <= (1u64 << 53));
+        if let Err(e) = result {
+            prop_assert!(structured(&e), "{e}");
+        }
+    }
+
+    #[test]
+    fn design_builder_try_build_rejects_exactly_invalid_parameters(
+        sp in 0u32..8, se in 0u32..8, sf in 0u32..8, sl in 0u32..8, mag in 1.0..9.0f64,
+    ) {
+        let (p, eff, fso, life) = (
+            hostile(sp, mag),
+            hostile(se, mag),
+            hostile(sf, mag),
+            hostile(sl, mag),
+        );
+        let result = SuDcDesign::builder()
+            .compute_power(Watts::new(p))
+            .efficiency_factor(eff)
+            .fso_efficiency_scalar(fso)
+            .lifetime(Years::new(life))
+            .try_build();
+        let valid = (p.is_finite() && p > 0.0)
+            && (eff.is_finite() && eff > 0.0)
+            && (fso.is_finite() && fso >= 1.0)
+            && (life.is_finite() && life > 0.0);
+        prop_assert_eq!(result.is_ok(), valid);
+        if let Err(e) = result {
+            prop_assert!(structured(&e), "{e}");
+        }
+    }
+}
+
+#[test]
+fn from_dynamic_rejects_hostile_clock_parameters() {
+    let d = DynamicScenario::from_scenario(Scenario::Reference, 64)
+        .expect("reference scenario must size");
+    for sel in 0..8u32 {
+        let h = hostile(sel, 3.0);
+        let valid = h.is_finite() && h > 0.0;
+        let by_tick = SimConfig::try_from_dynamic(&d, h, Seconds::new(3600.0));
+        let by_duration = SimConfig::try_from_dynamic(&d, 0.1, Seconds::new(h));
+        // An invalid clock parameter must error; a valid one may still
+        // produce a structured quantization error (e.g. a subnormal tick
+        // sends per-frame intervals to infinity), but never a panic.
+        if !valid {
+            assert!(by_tick.is_err(), "tick_seconds = {h}");
+            assert!(by_duration.is_err(), "duration = {h}");
+        }
+        for e in [by_tick.err(), by_duration.err()].into_iter().flatten() {
+            assert!(structured(&e), "{e}");
+        }
+    }
+}
+
+#[test]
+fn replication_try_forms_reject_degenerate_studies() {
+    let cfg = SimConfig::cold_spare_mission(8, 4, 0.1, 0.01);
+    let err = try_replicate(&cfg, 0, DEFAULT_SEED).unwrap_err();
+    assert!(structured(&err), "{err}");
+    assert!(err.to_string().contains("replication"), "{err}");
+
+    let err = SimSummary::try_from_traces(vec![]).unwrap_err();
+    assert!(structured(&err), "{err}");
+
+    // A bad config and zero reps surface together in one pass.
+    let mut bad = cfg;
+    bad.tick_seconds = f64::NAN;
+    let err = try_replicate(&bad, 0, DEFAULT_SEED).unwrap_err();
+    assert!(err.violations().len() >= 2, "{err}");
+
+    // And the valid short study still runs through the fallible path.
+    let study = SimSummary::try_study(&cfg, 2, DEFAULT_SEED).expect("short study runs");
+    assert_eq!(study.reps, 2);
+}
+
+#[test]
+fn tornado_rejects_hostile_perturbations() {
+    let cers = SubsystemCers::sudc_default();
+    let inputs = SscmInputs::reference();
+    for sel in 0..8u32 {
+        let h = hostile(sel, 3.0);
+        let result = try_tornado(&cers, &inputs, h);
+        let valid = h.is_finite() && h > 0.0 && h < 1.0;
+        assert_eq!(result.is_ok(), valid, "perturbation = {h}");
+        if let Err(e) = result {
+            assert!(structured(&e), "{e}");
+        }
+    }
+    assert!(!try_tornado(&cers, &inputs, 0.3).unwrap().is_empty());
+}
+
+#[test]
+fn fleet_cost_try_form_rejects_empty_fleets() {
+    let estimate = SubsystemCers::sudc_default()
+        .try_estimate(&SscmInputs::reference())
+        .expect("reference inputs are valid");
+    let err = estimate.try_fleet_cost(0).unwrap_err();
+    assert!(structured(&err), "{err}");
+    assert!(estimate.try_fleet_cost(3).unwrap() > estimate.first_unit());
+}
+
+#[test]
+fn every_scenario_survives_the_fallible_pipeline() {
+    for scenario in Scenario::all() {
+        let design = scenario
+            .try_design()
+            .unwrap_or_else(|e| panic!("{scenario}: {e}"));
+        let tco = design
+            .try_tco()
+            .unwrap_or_else(|e| panic!("{scenario}: {e}"));
+        assert!(tco.total().value() > 0.0, "{scenario}");
+    }
+}
+
+#[test]
+fn extreme_designs_error_instead_of_panicking() {
+    // A petawatt "design" is absurd but must not panic anywhere in the
+    // fallible pipeline: it either sizes to a (huge) costed report or
+    // surfaces a structured error from SSCM validation.
+    let design = SuDcDesign::builder()
+        .compute_power(Watts::new(1e15))
+        .try_build()
+        .expect("1e15 W is finite and positive");
+    if let Err(e) = design.try_tco() {
+        assert!(structured(&e), "{e}");
+    }
+}
+
+#[test]
+fn json_u64_extremes_are_rejected_with_paths() {
+    for n in [u64::MAX, (1u64 << 53) + 1, 1u64 << 60] {
+        let err = Json::try_from(n).unwrap_err();
+        assert!(structured(&err), "{err}");
+        assert!(err.to_string().contains("u64"), "{err}");
+    }
+    assert!(Json::try_from(1u64 << 53).is_ok());
+    assert!(Json::try_from(0u64).is_ok());
+}
