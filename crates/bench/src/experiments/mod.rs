@@ -5,6 +5,7 @@
 //! and [`all_experiments`] lists everything for the `figures` binary.
 
 mod arch;
+mod chaos;
 mod comms;
 mod cost;
 mod dse;
@@ -15,6 +16,7 @@ mod sim;
 mod tables;
 
 pub use arch::{fig11, fig15, fig16, fig3, fig9};
+pub use chaos::ext_chaos;
 pub use comms::{fig10, fig7, fig8};
 pub use cost::{fig4, fig5, fig6};
 pub use dse::fig17;
@@ -71,6 +73,10 @@ pub fn all_experiments() -> Vec<(&'static str, &'static str)> {
             "sim",
             "dynamic operations DES: latency, backlog, availability (extension)",
         ),
+        (
+            "chaos",
+            "fault-injection campaigns vs cold spares: resilience report (extension)",
+        ),
     ]
 }
 
@@ -111,6 +117,7 @@ pub fn run_experiment(id: &str) -> Option<String> {
         "extD" => ext_ablation(),
         "extE" => ext_precision(),
         "sim" => ext_sim(),
+        "chaos" => ext_chaos(),
         _ => return None,
     };
     Some(report)

@@ -9,6 +9,7 @@
 //! Shielding attenuation is modeled as exponential in shield thickness,
 //! fitted through the two LEO anchor points.
 
+use sudc_errors::{Diagnostics, SudcError};
 use sudc_units::{KradSi, KradSiPerYear, Years};
 
 /// Orbit radiation regime.
@@ -45,7 +46,8 @@ const REFERENCE_SHIELD_MILS: f64 = 200.0;
 ///
 /// # Panics
 ///
-/// Panics if `shield_mils` is negative or non-finite.
+/// Panics if `shield_mils` is negative or non-finite (see
+/// [`try_dose_rate`]).
 ///
 /// # Examples
 ///
@@ -59,18 +61,62 @@ const REFERENCE_SHIELD_MILS: f64 = 200.0;
 /// ```
 #[must_use]
 pub fn dose_rate(regime: RadiationRegime, shield_mils: f64) -> KradSiPerYear {
-    assert!(
-        shield_mils.is_finite() && shield_mils >= 0.0,
-        "shield thickness must be finite and non-negative, got {shield_mils}"
-    );
+    match try_dose_rate(regime, shield_mils) {
+        Ok(rate) => rate,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible form of [`dose_rate`].
+///
+/// # Errors
+///
+/// Returns a structured error if `shield_mils` is negative or non-finite.
+pub fn try_dose_rate(
+    regime: RadiationRegime,
+    shield_mils: f64,
+) -> Result<KradSiPerYear, SudcError> {
+    if !(shield_mils.is_finite() && shield_mils >= 0.0) {
+        return Err(SudcError::single(
+            "dose_rate",
+            "shield_mils",
+            shield_mils,
+            "the shield thickness must be finite and non-negative",
+        ));
+    }
     let attenuation = ((REFERENCE_SHIELD_MILS - shield_mils) / SHIELD_SCALE_MILS).exp();
-    KradSiPerYear::new(reference_rate(regime) * attenuation)
+    Ok(KradSiPerYear::new(reference_rate(regime) * attenuation))
 }
 
 /// Mission-accumulated dose over a lifetime.
+///
+/// # Panics
+///
+/// Panics if `shield_mils` is negative or non-finite (see
+/// [`try_mission_dose`]).
 #[must_use]
 pub fn mission_dose(regime: RadiationRegime, shield_mils: f64, lifetime: Years) -> KradSi {
-    dose_rate(regime, shield_mils) * lifetime
+    match try_mission_dose(regime, shield_mils, lifetime) {
+        Ok(dose) => dose,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible form of [`mission_dose`].
+///
+/// # Errors
+///
+/// Returns a structured error if `shield_mils` is negative or non-finite,
+/// or the lifetime is negative or non-finite.
+pub fn try_mission_dose(
+    regime: RadiationRegime,
+    shield_mils: f64,
+    lifetime: Years,
+) -> Result<KradSi, SudcError> {
+    let mut d = Diagnostics::new("mission_dose");
+    d.non_negative("lifetime", lifetime.value());
+    d.finish()?;
+    Ok(try_dose_rate(regime, shield_mils)? * lifetime)
 }
 
 /// Verdict of a COTS-suitability radiation check.
@@ -86,6 +132,11 @@ pub struct TidAssessment {
 
 impl TidAssessment {
     /// Assesses whether a part with `part_tolerance` survives the mission.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid shielding, lifetime, or tolerance (see
+    /// [`TidAssessment::try_assess`]).
     #[must_use]
     pub fn assess(
         regime: RadiationRegime,
@@ -93,12 +144,34 @@ impl TidAssessment {
         lifetime: Years,
         part_tolerance: KradSi,
     ) -> Self {
-        let dose = mission_dose(regime, shield_mils, lifetime);
-        Self {
+        match Self::try_assess(regime, shield_mils, lifetime, part_tolerance) {
+            Ok(a) => a,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible form of [`TidAssessment::assess`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a structured error if the shield thickness is negative or
+    /// non-finite, the lifetime is negative or non-finite, or the part
+    /// tolerance is negative or non-finite.
+    pub fn try_assess(
+        regime: RadiationRegime,
+        shield_mils: f64,
+        lifetime: Years,
+        part_tolerance: KradSi,
+    ) -> Result<Self, SudcError> {
+        let mut d = Diagnostics::new("TidAssessment");
+        d.non_negative("part_tolerance", part_tolerance.value());
+        d.finish()?;
+        let dose = try_mission_dose(regime, shield_mils, lifetime)?;
+        Ok(Self {
             mission_dose: dose,
             part_tolerance,
             margin: part_tolerance.value() / dose.value(),
-        }
+        })
     }
 
     /// Whether the part survives with at least the given safety factor.
@@ -166,6 +239,60 @@ mod tests {
     #[should_panic(expected = "shield thickness")]
     fn negative_shield_panics() {
         let _ = dose_rate(RadiationRegime::LeoNonPolar, -1.0);
+    }
+
+    #[test]
+    fn zero_shielding_exposes_the_bare_spacecraft() {
+        // No shielding: exp(200 / tau) = 2.5x the 200-mil reference.
+        let bare = dose_rate(RadiationRegime::LeoNonPolar, 0.0);
+        assert!((bare.value() - 0.5 * 2.5).abs() < 1e-3, "{}", bare.value());
+    }
+
+    #[test]
+    fn extreme_shielding_drives_dose_toward_zero() {
+        let heavy = dose_rate(RadiationRegime::Geo, 5_000.0);
+        assert!(heavy.value() > 0.0);
+        assert!(heavy.value() < 1e-8, "{}", heavy.value());
+    }
+
+    #[test]
+    fn invalid_shielding_is_a_structured_error() {
+        for bad in [-1.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = try_dose_rate(RadiationRegime::LeoNonPolar, bad).unwrap_err();
+            assert_eq!(err.violations().len(), 1);
+            assert_eq!(err.violations()[0].path, "shield_mils");
+        }
+    }
+
+    #[test]
+    fn invalid_mission_dose_inputs_are_structured_errors() {
+        assert!(try_mission_dose(RadiationRegime::LeoNonPolar, f64::NAN, Years::new(5.0)).is_err());
+        assert!(try_mission_dose(RadiationRegime::LeoNonPolar, 200.0, Years::new(-1.0)).is_err());
+        assert!(TidAssessment::try_assess(
+            RadiationRegime::LeoNonPolar,
+            200.0,
+            Years::new(5.0),
+            KradSi::new(-1.0),
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn try_assess_matches_the_panicking_form() {
+        let a = TidAssessment::try_assess(
+            RadiationRegime::LeoNonPolar,
+            200.0,
+            Years::new(5.0),
+            KradSi::new(50.0),
+        )
+        .unwrap();
+        let b = TidAssessment::assess(
+            RadiationRegime::LeoNonPolar,
+            200.0,
+            Years::new(5.0),
+            KradSi::new(50.0),
+        );
+        assert_eq!(a, b);
     }
 
     proptest! {

@@ -6,6 +6,7 @@
 //! available at time `t` iff at least `k` nodes survive — a binomial tail
 //! in the per-node survival probability `p(t) = e^(−t/T)`.
 
+use sudc_errors::{Diagnostics, SudcError};
 use sudc_par::rng::Rng64;
 
 /// Default seed for the Monte-Carlo cross-validations (Figs. 24–25 and the
@@ -33,29 +34,72 @@ impl NodePool {
     ///
     /// # Panics
     ///
-    /// Panics if `required` is zero or exceeds `nodes`.
+    /// Panics if `required` is zero or exceeds `nodes` (see
+    /// [`NodePool::try_new`]).
     #[must_use]
     pub fn new(nodes: u32, required: u32) -> Self {
-        assert!(required > 0, "at least one node must be required");
-        assert!(
-            required <= nodes,
-            "cannot require {required} of only {nodes} nodes"
-        );
-        Self { nodes, required }
+        match Self::try_new(nodes, required) {
+            Ok(pool) => pool,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible form of [`NodePool::new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a structured error if `required` is zero or exceeds
+    /// `nodes`.
+    pub fn try_new(nodes: u32, required: u32) -> Result<Self, SudcError> {
+        let mut d = Diagnostics::new("NodePool");
+        if d.ensure(
+            required > 0,
+            "required",
+            required,
+            "at least one node must be required",
+        ) {
+            d.ensure(
+                required <= nodes,
+                "required",
+                required,
+                format!(
+                    "at most nodes = {nodes} (cannot require {required} of only {nodes} nodes)"
+                ),
+            );
+        }
+        d.into_result(Self { nodes, required })
     }
 
     /// Per-node survival probability at time `t` (in units of the MTTF `T`).
     ///
     /// # Panics
     ///
-    /// Panics if `t` is negative or non-finite.
+    /// Panics if `t` is negative or non-finite (see
+    /// [`NodePool::try_node_survival`]).
     #[must_use]
     pub fn node_survival(t_over_mttf: f64) -> f64 {
-        assert!(
-            t_over_mttf.is_finite() && t_over_mttf >= 0.0,
-            "time must be finite and non-negative, got {t_over_mttf}"
-        );
-        (-t_over_mttf).exp()
+        match Self::try_node_survival(t_over_mttf) {
+            Ok(p) => p,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible form of [`NodePool::node_survival`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a structured error if `t_over_mttf` is negative or
+    /// non-finite.
+    pub fn try_node_survival(t_over_mttf: f64) -> Result<f64, SudcError> {
+        if !(t_over_mttf.is_finite() && t_over_mttf >= 0.0) {
+            return Err(SudcError::single(
+                "NodePool::node_survival",
+                "t_over_mttf",
+                t_over_mttf,
+                "time must be finite and non-negative",
+            ));
+        }
+        Ok((-t_over_mttf).exp())
     }
 
     /// Probability that at least `required` nodes are alive at time `t`
@@ -64,6 +108,17 @@ impl NodePool {
     pub fn availability(self, t_over_mttf: f64) -> f64 {
         let p = Self::node_survival(t_over_mttf);
         binomial_tail_at_least(self.nodes, self.required, p)
+    }
+
+    /// Fallible form of [`NodePool::availability`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a structured error if `t_over_mttf` is negative or
+    /// non-finite.
+    pub fn try_availability(self, t_over_mttf: f64) -> Result<f64, SudcError> {
+        let p = Self::try_node_survival(t_over_mttf)?;
+        Ok(binomial_tail_at_least(self.nodes, self.required, p))
     }
 
     /// Expected usable capacity `E[min(required, alive)]` (Fig. 25).
@@ -81,13 +136,31 @@ impl NodePool {
     ///
     /// # Panics
     ///
-    /// Panics if `threshold` is not in (0, 1).
+    /// Panics if `threshold` is not in (0, 1) (see
+    /// [`NodePool::try_time_to_availability`]).
     #[must_use]
     pub fn time_to_availability(self, threshold: f64) -> f64 {
-        assert!(
-            threshold > 0.0 && threshold < 1.0,
-            "threshold must be in (0, 1), got {threshold}"
-        );
+        match self.try_time_to_availability(threshold) {
+            Ok(t) => t,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible form of [`NodePool::time_to_availability`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a structured error if `threshold` is not strictly inside
+    /// `(0, 1)`.
+    pub fn try_time_to_availability(self, threshold: f64) -> Result<f64, SudcError> {
+        if !(threshold > 0.0 && threshold < 1.0) {
+            return Err(SudcError::single(
+                "NodePool::time_to_availability",
+                "threshold",
+                threshold,
+                "the threshold must be in (0, 1)",
+            ));
+        }
         let (mut lo, mut hi) = (0.0, 50.0);
         for _ in 0..200 {
             let mid = 0.5 * (lo + hi);
@@ -97,7 +170,7 @@ impl NodePool {
                 hi = mid;
             }
         }
-        0.5 * (lo + hi)
+        Ok(0.5 * (lo + hi))
     }
 
     /// Median time to system degradation (availability = 0.5).
@@ -116,11 +189,34 @@ impl NodePool {
     ///
     /// # Panics
     ///
-    /// Panics if `trials` is zero.
+    /// Panics if `trials` is zero or `t_over_mttf` is invalid (see
+    /// [`NodePool::try_simulate_availability`]).
     #[must_use]
     pub fn simulate_availability(self, t_over_mttf: f64, trials: u32, seed: u64) -> f64 {
-        assert!(trials > 0, "need at least one trial");
-        let p = Self::node_survival(t_over_mttf);
+        match self.try_simulate_availability(t_over_mttf, trials, seed) {
+            Ok(a) => a,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible form of [`NodePool::simulate_availability`], reporting a
+    /// zero trial count and an invalid time in one combined error.
+    ///
+    /// # Errors
+    ///
+    /// Returns a structured error if `trials` is zero or `t_over_mttf` is
+    /// negative or non-finite.
+    pub fn try_simulate_availability(
+        self,
+        t_over_mttf: f64,
+        trials: u32,
+        seed: u64,
+    ) -> Result<f64, SudcError> {
+        let mut d = Diagnostics::new("NodePool::simulate_availability");
+        d.ensure(trials > 0, "trials", trials, "need at least one trial");
+        d.non_negative("t_over_mttf", t_over_mttf);
+        d.finish()?;
+        let p = Self::try_node_survival(t_over_mttf)?;
         let blocks: Vec<(u64, u32)> = block_sizes(trials)
             .into_iter()
             .enumerate()
@@ -142,7 +238,7 @@ impl NodePool {
             },
             |a, b| a + b,
         );
-        hits as f64 / f64::from(trials)
+        Ok(hits as f64 / f64::from(trials))
     }
 }
 

@@ -7,6 +7,7 @@
 //! spare curves. This module quantifies that with a discrete-event
 //! Monte-Carlo simulation.
 
+use sudc_errors::{Diagnostics, SudcError};
 use sudc_par::rng::Rng64;
 
 use crate::availability::block_sizes;
@@ -63,29 +64,55 @@ pub struct MissionOutcome {
 /// # Panics
 ///
 /// Panics if `required` is zero or exceeds `nodes`, `duration` is not
-/// positive, or `trials` is zero.
+/// positive, or `trials` is zero (see [`try_simulate`]).
 #[must_use]
 pub fn simulate(config: MissionConfig, trials: u32, seed: u64) -> MissionOutcome {
-    assert!(config.required > 0, "must require at least one node");
-    assert!(
-        config.required <= config.nodes,
-        "cannot require {} of {} nodes",
-        config.required,
-        config.nodes
-    );
-    assert!(config.duration > 0.0, "mission duration must be positive");
-    assert!(trials > 0, "need at least one trial");
+    match try_simulate(config, trials, seed) {
+        Ok(outcome) => outcome,
+        Err(e) => panic!("{e}"),
+    }
+}
 
+/// Fallible form of [`simulate`], reporting every invalid parameter in one
+/// combined error before running any trial.
+///
+/// # Errors
+///
+/// Returns a structured error if `required` is zero or exceeds `nodes`,
+/// `duration` is not positive and finite, the cold-sparing dormant-aging
+/// rate is outside `[0, 1]`, or `trials` is zero.
+pub fn try_simulate(
+    config: MissionConfig,
+    trials: u32,
+    seed: u64,
+) -> Result<MissionOutcome, SudcError> {
+    let mut d = Diagnostics::new("mission simulation");
+    if d.positive_count("config.required", u64::from(config.required)) {
+        d.ensure(
+            config.required <= config.nodes,
+            "config.required",
+            config.required,
+            format!(
+                "at most nodes = {} (cannot require {} of {} nodes)",
+                config.nodes, config.required, config.nodes
+            ),
+        );
+    }
+    d.positive("config.duration", config.duration);
+    d.positive_count("trials", u64::from(trials));
     let dormant_aging = match config.policy {
         SparingPolicy::Hot => 1.0,
         SparingPolicy::Cold { dormant_aging } => {
-            assert!(
-                (0.0..=1.0).contains(&dormant_aging),
-                "dormant aging must be in [0, 1], got {dormant_aging}"
+            d.ensure(
+                dormant_aging.is_finite() && (0.0..=1.0).contains(&dormant_aging),
+                "config.policy.dormant_aging",
+                dormant_aging,
+                "the dormant aging rate must be in [0, 1]",
             );
             dormant_aging
         }
     };
+    d.finish()?;
 
     let blocks = block_sizes(trials);
     // Per-block partials in parallel, then a serial fold in block order:
@@ -100,11 +127,11 @@ pub fn simulate(config: MissionConfig, trials: u32, seed: u64) -> MissionOutcome
             (a.0 + b.0, a.1 + b.1, a.2 + b.2)
         });
 
-    MissionOutcome {
+    Ok(MissionOutcome {
         full_capability_probability: full_at_end as f64 / f64::from(trials),
         mean_full_capability_time: full_time_sum / f64::from(trials),
         mean_final_capacity: final_capacity_sum / f64::from(trials),
-    }
+    })
 }
 
 /// Simulates one block of trials, returning

@@ -10,6 +10,7 @@
 //! a 20 % software-hardening overhead is conservative.
 
 use sudc_compute::networks::NetworkId;
+use sudc_errors::{Diagnostics, SudcError};
 
 /// Bits per parameter (FP16 deployment).
 const BITS_PER_PARAM: f64 = 16.0;
@@ -45,27 +46,78 @@ pub fn imagenet_suite() -> Vec<ImageNetModel> {
 }
 
 impl ImageNetModel {
+    /// Checks the model's own parameters: the base accuracy must be a
+    /// probability and the parameter count non-zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns a structured error naming every invalid field.
+    pub fn try_validate(&self) -> Result<(), SudcError> {
+        let mut d = Diagnostics::new("ImageNetModel");
+        d.unit_interval("base_accuracy", self.base_accuracy);
+        d.positive_count("parameters", self.parameters);
+        d.finish()
+    }
+
     /// Probability that an inference sees at least one corrupted bit at
     /// per-bit-per-inference fault probability `epsilon`.
     ///
     /// # Panics
     ///
-    /// Panics if `epsilon` is not a probability.
+    /// Panics if `epsilon` is not a probability (see
+    /// [`ImageNetModel::try_corruption_probability`]).
     #[must_use]
     pub fn corruption_probability(&self, epsilon: f64) -> f64 {
-        assert!(
-            (0.0..=1.0).contains(&epsilon),
-            "epsilon must be a probability, got {epsilon}"
-        );
+        match self.try_corruption_probability(epsilon) {
+            Ok(p) => p,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible form of [`ImageNetModel::corruption_probability`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a structured error if `epsilon` is not a probability in
+    /// `[0, 1]`.
+    pub fn try_corruption_probability(&self, epsilon: f64) -> Result<f64, SudcError> {
+        if !(epsilon.is_finite() && (0.0..=1.0).contains(&epsilon)) {
+            return Err(SudcError::single(
+                "ImageNetModel::corruption_probability",
+                "epsilon",
+                epsilon,
+                "epsilon must be a probability in [0, 1]",
+            ));
+        }
         let bits = self.parameters as f64 * BITS_PER_PARAM;
-        1.0 - (1.0 - epsilon).powf(bits)
+        // powf underflow can leave a tiny negative residue at epsilon ≈ 1;
+        // clamp so the result is always a probability.
+        Ok((1.0 - (1.0 - epsilon).powf(bits)).clamp(0.0, 1.0))
     }
 
     /// Pessimistic accuracy under faults: every corrupted inference is
     /// wrong.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon` is not a probability (see
+    /// [`ImageNetModel::try_accuracy_under_faults`]).
     #[must_use]
     pub fn accuracy_under_faults(&self, epsilon: f64) -> f64 {
-        self.base_accuracy * (1.0 - self.corruption_probability(epsilon))
+        match self.try_accuracy_under_faults(epsilon) {
+            Ok(a) => a,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible form of [`ImageNetModel::accuracy_under_faults`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a structured error if `epsilon` is not a probability in
+    /// `[0, 1]`.
+    pub fn try_accuracy_under_faults(&self, epsilon: f64) -> Result<f64, SudcError> {
+        Ok(self.base_accuracy * (1.0 - self.try_corruption_probability(epsilon)?))
     }
 
     /// The fault rate at which accuracy halves.
@@ -128,6 +180,76 @@ mod tests {
             let eps = m.half_accuracy_fault_rate();
             let acc = m.accuracy_under_faults(eps);
             assert!((acc - 0.5 * m.base_accuracy).abs() < 1e-5, "{}", m.network);
+        }
+    }
+
+    #[test]
+    fn epsilon_zero_means_no_corruption() {
+        for m in imagenet_suite() {
+            assert_eq!(m.corruption_probability(0.0), 0.0);
+            assert_eq!(m.accuracy_under_faults(0.0), m.base_accuracy);
+        }
+    }
+
+    #[test]
+    fn epsilon_one_corrupts_everything() {
+        for m in imagenet_suite() {
+            assert_eq!(m.corruption_probability(1.0), 1.0);
+            assert_eq!(m.accuracy_under_faults(1.0), 0.0);
+        }
+    }
+
+    #[test]
+    fn corruption_probability_is_always_a_probability() {
+        // Including values where (1 - eps)^bits underflows or rounds.
+        let m = &imagenet_suite()[0];
+        for eps in [0.0, 1e-300, 1e-12, 1e-9, 1e-6, 0.1, 0.5, 1.0 - 1e-16, 1.0] {
+            let p = m.corruption_probability(eps);
+            assert!((0.0..=1.0).contains(&p), "eps {eps} -> p {p}");
+        }
+    }
+
+    #[test]
+    fn invalid_epsilon_is_a_structured_error() {
+        let m = &imagenet_suite()[0];
+        for bad in [-0.1, 1.5, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = m.try_corruption_probability(bad).unwrap_err();
+            assert_eq!(err.violations().len(), 1);
+            assert_eq!(err.violations()[0].path, "epsilon");
+            assert!(m.try_accuracy_under_faults(bad).is_err());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon")]
+    fn out_of_range_epsilon_panics() {
+        let _ = imagenet_suite()[0].corruption_probability(1.5);
+    }
+
+    #[test]
+    fn suite_models_validate() {
+        for m in imagenet_suite() {
+            m.try_validate().unwrap();
+        }
+        let bad = ImageNetModel {
+            network: NetworkId::ResNet50,
+            base_accuracy: 1.5,
+            parameters: 0,
+        };
+        assert_eq!(bad.try_validate().unwrap_err().violations().len(), 2);
+    }
+
+    #[test]
+    fn half_accuracy_fault_rate_decreases_with_parameter_count() {
+        // Strict monotonicity: doubling the parameter count always lowers
+        // the half-accuracy fault rate.
+        let mut m = imagenet_suite()[0].clone();
+        let mut prev = m.half_accuracy_fault_rate();
+        for _ in 0..8 {
+            m.parameters *= 2;
+            let next = m.half_accuracy_fault_rate();
+            assert!(next < prev, "params {}: {next} !< {prev}", m.parameters);
+            prev = next;
         }
     }
 

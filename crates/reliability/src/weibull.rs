@@ -7,6 +7,8 @@
 //! module re-derives the Fig. 24/25 quantities under a shape parameter so
 //! the overprovisioning conclusions can be stress-tested.
 
+use sudc_errors::SudcError;
+
 use crate::availability::{binomial_pmf, binomial_tail_at_least};
 
 /// A Weibull lifetime distribution parameterized to preserve the mean.
@@ -25,15 +27,32 @@ impl WeibullLifetime {
     ///
     /// # Panics
     ///
-    /// Panics if `shape` is not positive and finite.
+    /// Panics if `shape` is not positive and finite (see
+    /// [`WeibullLifetime::try_with_unit_mean`]).
     #[must_use]
     pub fn with_unit_mean(shape: f64) -> Self {
-        assert!(
-            shape > 0.0 && shape.is_finite(),
-            "Weibull shape must be positive and finite, got {shape}"
-        );
+        match Self::try_with_unit_mean(shape) {
+            Ok(w) => w,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible form of [`WeibullLifetime::with_unit_mean`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a structured error if `shape` is not positive and finite.
+    pub fn try_with_unit_mean(shape: f64) -> Result<Self, SudcError> {
+        if !(shape > 0.0 && shape.is_finite()) {
+            return Err(SudcError::single(
+                "WeibullLifetime",
+                "shape",
+                shape,
+                "the Weibull shape must be positive and finite",
+            ));
+        }
         let scale = 1.0 / gamma(1.0 + 1.0 / shape);
-        Self { shape, scale }
+        Ok(Self { shape, scale })
     }
 
     /// The exponential special case.
@@ -46,20 +65,50 @@ impl WeibullLifetime {
     ///
     /// # Panics
     ///
-    /// Panics if `t` is negative or non-finite.
+    /// Panics if `t` is negative or non-finite (see
+    /// [`WeibullLifetime::try_survival`]).
     #[must_use]
     pub fn survival(&self, t: f64) -> f64 {
-        assert!(
-            t.is_finite() && t >= 0.0,
-            "time must be finite and non-negative, got {t}"
-        );
-        (-(t / self.scale).powf(self.shape)).exp()
+        match self.try_survival(t) {
+            Ok(s) => s,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible form of [`WeibullLifetime::survival`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a structured error if `t` is negative or non-finite.
+    pub fn try_survival(&self, t: f64) -> Result<f64, SudcError> {
+        if !(t.is_finite() && t >= 0.0) {
+            return Err(SudcError::single(
+                "WeibullLifetime::survival",
+                "t",
+                t,
+                "time must be finite and non-negative",
+            ));
+        }
+        Ok((-(t / self.scale).powf(self.shape)).exp())
     }
 
     /// Probability that at least `required` of `nodes` survive to `t`.
     #[must_use]
     pub fn availability(&self, nodes: u32, required: u32, t: f64) -> f64 {
         binomial_tail_at_least(nodes, required, self.survival(t))
+    }
+
+    /// Fallible form of [`WeibullLifetime::availability`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a structured error if `t` is negative or non-finite.
+    pub fn try_availability(&self, nodes: u32, required: u32, t: f64) -> Result<f64, SudcError> {
+        Ok(binomial_tail_at_least(
+            nodes,
+            required,
+            self.try_survival(t)?,
+        ))
     }
 
     /// Expected usable capacity `E[min(required, alive)]` at `t`.

@@ -16,6 +16,7 @@ use sudc_errors::{Diagnostics, SudcError};
 use sudc_units::Seconds;
 
 use crate::event::Tick;
+use crate::fault::FaultConfig;
 
 /// Complete configuration of one simulation run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -72,6 +73,10 @@ pub struct SimConfig {
     pub contact_window_ticks: Tick,
     /// Downlink transmission time for one insight product, ticks.
     pub downlink_transfer_ticks: f64,
+
+    /// Opt-in fault injection (`None` = the exact baseline kernel: same
+    /// random draws, same event schedule, bit-identical traces).
+    pub faults: Option<FaultConfig>,
 }
 
 impl SimConfig {
@@ -133,6 +138,7 @@ impl SimConfig {
             contact_gap_ticks: (ticks(d.contact_gap.value()).round() as Tick).max(1),
             contact_window_ticks: (ticks(d.contact_window.value()).round() as Tick).max(1),
             downlink_transfer_ticks: ticks(d.insight_size.value() / d.downlink_rate.value()),
+            faults: None,
         };
         cfg.try_validate()?;
         Ok(cfg)
@@ -242,7 +248,15 @@ impl SimConfig {
             contact_gap_ticks: 1,
             contact_window_ticks: 1,
             downlink_transfer_ticks: 0.0,
+            faults: None,
         })
+    }
+
+    /// Returns this configuration with fault injection enabled.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = Some(faults);
+        self
     }
 
     /// Checks internal consistency; the kernel calls this before running.
@@ -316,6 +330,9 @@ impl SimConfig {
             ),
         );
         d.non_negative("downlink_transfer_ticks", self.downlink_transfer_ticks);
+        if let Some(f) = &self.faults {
+            f.validate_into(&mut d);
+        }
         d.finish()
     }
 }

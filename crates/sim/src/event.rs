@@ -44,6 +44,27 @@ pub enum Event {
     DownlinkDone,
     /// Periodic metrics sampling point.
     Sample,
+    /// Redundant ISL link `link` drops (fault injection only).
+    IslLinkDown {
+        /// Index of the flapping link.
+        link: u32,
+    },
+    /// Redundant ISL link `link` recovers (fault injection only).
+    IslLinkUp {
+        /// Index of the recovering link.
+        link: u32,
+    },
+    /// A solar-storm window opens: latch-up shocks hit powered nodes
+    /// (fault injection only).
+    StormStart,
+    /// A corrupted image re-enters the batch queue after its backoff
+    /// delay (fault injection only).
+    Retry {
+        /// Original capture tick of the retried image.
+        capture: Tick,
+        /// Reprocessing attempt number (1 = first retry).
+        attempt: u32,
+    },
 }
 
 /// A deterministic future-event list.

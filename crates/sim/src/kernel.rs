@@ -29,6 +29,21 @@ use crate::metrics::RunTrace;
 const SAT_STREAM_BASE: u64 = 0;
 /// Stream index base for per-node lifetime streams.
 const NODE_STREAM_BASE: u64 = 1_000_000;
+/// Stream index base for per-ISL-link flap streams (fault injection).
+const ISL_LINK_STREAM_BASE: u64 = 2_000_000;
+/// Stream index for the shared fault stream (SEU corruption draws and
+/// retry jitter, consumed in event order).
+const FAULT_STREAM_BASE: u64 = 3_000_000;
+/// Stream index for ground-contact blackout draws (one per window).
+const BLACKOUT_STREAM_BASE: u64 = 3_500_000;
+/// Stream index base for per-manufacturing-cohort infant-mortality draws.
+const INFANT_STREAM_BASE: u64 = 4_000_000;
+/// Stream index base for storm latch-up draws. Storm `s`, node `n` draws
+/// from stream `BASE + s * STRIDE + n` — a pure function of the entity
+/// pair, so one node's fate never depends on how many others are powered.
+const STORM_KILL_STREAM_BASE: u64 = 5_000_000;
+/// Stream stride between consecutive storms' kill-draw blocks.
+const STORM_KILL_STREAM_STRIDE: u64 = 1_000_000;
 
 /// Rounds a positive tick duration up, never below one tick.
 fn duration_ticks(x: f64) -> Tick {
@@ -47,6 +62,8 @@ enum NodeState {
 struct QueuedImage {
     capture: Tick,
     enqueued: Tick,
+    /// Reprocessing attempt (0 = first pass; fault injection only).
+    attempt: u32,
 }
 
 /// Runs one simulation to completion and returns its trace.
@@ -64,22 +81,37 @@ struct Kernel<'a> {
     cfg: &'a SimConfig,
     queue: EventQueue,
     now: Tick,
+    seed: u64,
 
     // Arrival process.
     sat_rngs: Vec<Rng64>,
     sat_phases: Vec<Tick>,
 
     // ISL: single FIFO server; `isl_current` is the capture tick of the
-    // image in transfer.
+    // image in transfer. Under fault injection the provisioned rate is
+    // spread over `isl_links_total` redundant links and transfers slow to
+    // `total / up` of nominal as links flap (re-routing over survivors);
+    // with every link down new transfers stall in `isl_queue`.
     isl_busy: bool,
     isl_current: Tick,
     isl_queue: VecDeque<Tick>,
+    isl_rngs: Vec<Rng64>,
+    isl_links_total: u32,
+    isl_links_up: u32,
 
-    // Batch dispatcher and compute pool.
+    // Batch dispatcher and compute pool. In-flight entries carry
+    // `(capture, attempt)` so corrupted work can re-enter with a retry
+    // budget.
     batch_queue: VecDeque<QueuedImage>,
-    in_flight: Vec<Option<Vec<Tick>>>,
+    in_flight: Vec<Option<Vec<(Tick, u32)>>>,
     free_slots: Vec<u32>,
     busy_nodes: u32,
+
+    // Fault processes (idle unless `cfg.faults` is set).
+    fault_rng: Rng64,
+    blackout_rng: Rng64,
+    window_blacked_out: bool,
+    storm_seq: u64,
 
     // Node health.
     node_states: Vec<NodeState>,
@@ -114,15 +146,26 @@ impl<'a> Kernel<'a> {
                 (cfg.phase_spread * frac * cfg.imaging_period_ticks as f64).round() as Tick
             })
             .collect();
+        let isl_links_total = cfg.faults.map_or(1, |f| f.isl_links());
+        let isl_rngs = match cfg.faults.and_then(|f| f.isl) {
+            Some(isl) => (0..isl.links)
+                .map(|l| Rng64::stream(seed, ISL_LINK_STREAM_BASE + u64::from(l)))
+                .collect(),
+            None => Vec::new(),
+        };
         let mut kernel = Self {
             cfg,
             queue: EventQueue::new(),
             now: 0,
+            seed,
             sat_rngs,
             sat_phases,
             isl_busy: false,
             isl_current: 0,
             isl_queue: VecDeque::new(),
+            isl_rngs,
+            isl_links_total,
+            isl_links_up: isl_links_total,
             batch_queue: VecDeque::new(),
             in_flight: Vec::new(),
             free_slots: Vec::new(),
@@ -130,6 +173,10 @@ impl<'a> Kernel<'a> {
             node_states: Vec::new(),
             spares: VecDeque::new(),
             powered_alive: 0,
+            fault_rng: Rng64::stream(seed, FAULT_STREAM_BASE),
+            blackout_rng: Rng64::stream(seed, BLACKOUT_STREAM_BASE),
+            window_blacked_out: false,
+            storm_seq: 0,
             dl_busy: false,
             dl_group: Vec::new(),
             downlink_queue: VecDeque::new(),
@@ -147,12 +194,28 @@ impl<'a> Kernel<'a> {
 
         // Node pool: the first `required` nodes power on, the rest wait as
         // cold spares in index order. Lifetimes are Weibull in MTTF units.
+        // Under infant mortality a whole manufacturing cohort shares one
+        // weak/healthy draw; weak nodes reuse the *same* per-node uniform
+        // through the weak distribution, so the per-node stream consumes
+        // identical draw counts either way.
         let lifetime = WeibullLifetime::with_unit_mean(self.cfg.weibull_shape);
+        let infant = self.cfg.faults.and_then(|f| f.infant);
+        let weak_lifetime = infant.map(|i| WeibullLifetime::with_unit_mean(i.weak_shape));
         for node in 0..self.cfg.nodes {
             let life = if self.cfg.mttf_ticks.is_finite() {
                 let mut rng = Rng64::stream(seed, NODE_STREAM_BASE + u64::from(node));
                 let u = rng.next_f64();
-                lifetime.scale * (-(1.0 - u).max(f64::MIN_POSITIVE).ln()).powf(1.0 / lifetime.shape)
+                let weak = infant.is_some_and(|i| {
+                    let cohort = u64::from(node / i.batch_size);
+                    Rng64::stream(seed, INFANT_STREAM_BASE + cohort).next_f64() < i.weak_probability
+                });
+                let neg_log = -(1.0 - u).max(f64::MIN_POSITIVE).ln();
+                match (weak, infant, weak_lifetime) {
+                    (true, Some(i), Some(w)) => {
+                        i.life_multiplier * w.scale * neg_log.powf(1.0 / w.shape)
+                    }
+                    _ => lifetime.scale * neg_log.powf(1.0 / lifetime.shape),
+                }
             } else {
                 f64::INFINITY
             };
@@ -174,6 +237,19 @@ impl<'a> Kernel<'a> {
         self.queue.push(0, Event::ContactStart);
         self.queue
             .push(self.cfg.sample_interval_ticks, Event::Sample);
+
+        // Fault processes. No events are seeded (and no streams consumed)
+        // with faults disabled, so the baseline schedule is untouched.
+        if let Some(isl) = self.cfg.faults.and_then(|f| f.isl) {
+            for link in 0..isl.links {
+                let dt =
+                    duration_ticks(self.isl_rngs[link as usize].next_exp() * isl.mean_up_ticks);
+                self.queue.push(dt, Event::IslLinkDown { link });
+            }
+        }
+        if let Some(storm) = self.cfg.faults.and_then(|f| f.storm) {
+            self.queue.push(storm.offset_ticks, Event::StormStart);
+        }
     }
 
     fn run(mut self) -> RunTrace {
@@ -198,6 +274,10 @@ impl<'a> Kernel<'a> {
                 Event::ContactStart => self.on_contact_start(),
                 Event::DownlinkDone => self.on_downlink_done(),
                 Event::Sample => self.on_sample(),
+                Event::IslLinkDown { link } => self.on_isl_link_down(link),
+                Event::IslLinkUp { link } => self.on_isl_link_up(link),
+                Event::StormStart => self.on_storm_start(),
+                Event::Retry { capture, attempt } => self.on_retry(capture, attempt),
             }
         }
         self.trace.finish(
@@ -238,38 +318,72 @@ impl<'a> Kernel<'a> {
         self.queue.push(self.now + dt, Event::Capture { sat });
     }
 
+    /// Transfer time for one image at the current link state: nominal
+    /// spread over `total` links slows to `total / up` as links flap
+    /// (work re-routes over the survivors). 1× with faults disabled.
+    fn isl_transfer_duration(&self) -> Tick {
+        let degrade = f64::from(self.isl_links_total) / f64::from(self.isl_links_up.max(1));
+        duration_ticks(self.cfg.isl_transfer_ticks * degrade)
+    }
+
+    fn start_isl_transfer(&mut self, capture: Tick) {
+        self.isl_busy = true;
+        self.isl_current = capture;
+        self.queue
+            .push(self.now + self.isl_transfer_duration(), Event::IslDone);
+    }
+
     fn offer_to_isl(&mut self, capture: Tick) {
         self.trace.arrived += 1;
-        if self.isl_busy {
+        if self.isl_busy || self.isl_links_up == 0 {
             self.isl_queue.push_back(capture);
         } else {
-            self.isl_busy = true;
-            self.isl_current = capture;
-            self.queue.push(
-                self.now + duration_ticks(self.cfg.isl_transfer_ticks),
-                Event::IslDone,
-            );
+            self.start_isl_transfer(capture);
         }
     }
 
     fn on_isl_done(&mut self) {
         let capture = self.isl_current;
+        self.enqueue_for_batch(capture, 0);
+        match self.isl_queue.pop_front() {
+            Some(next) if self.isl_links_up > 0 => self.start_isl_transfer(next),
+            Some(next) => {
+                // Every link is down: the in-flight transfer completed but
+                // the next one stalls until a link recovers.
+                self.isl_queue.push_front(next);
+                self.isl_busy = false;
+            }
+            None => self.isl_busy = false,
+        }
+        self.try_dispatch();
+    }
+
+    /// Adds an image to the batch queue (fresh from the ISL at `attempt`
+    /// 0, or re-entering after a corruption retry), enforcing the bounded-
+    /// queue shedding policy and arming the staleness timeout.
+    fn enqueue_for_batch(&mut self, capture: Tick, attempt: u32) {
         self.batch_queue.push_back(QueuedImage {
             capture,
             enqueued: self.now,
+            attempt,
         });
+        if let Some(f) = &self.cfg.faults {
+            let limit = f.policy.batch_queue_limit;
+            if limit > 0 {
+                while self.batch_queue.len() > limit {
+                    // Shed the oldest first: fresh imagery outranks stale.
+                    self.batch_queue.pop_front();
+                    self.trace.shed_batch_overflow += 1;
+                }
+            }
+        }
         self.trace.note_batch_queue_len(self.batch_queue.len());
         self.queue
             .push(self.now + self.cfg.batch_timeout_ticks, Event::BatchTimeout);
-        if let Some(next) = self.isl_queue.pop_front() {
-            self.isl_current = next;
-            self.queue.push(
-                self.now + duration_ticks(self.cfg.isl_transfer_ticks),
-                Event::IslDone,
-            );
-        } else {
-            self.isl_busy = false;
-        }
+    }
+
+    fn on_retry(&mut self, capture: Tick, attempt: u32) {
+        self.enqueue_for_batch(capture, attempt);
         self.try_dispatch();
     }
 
@@ -279,8 +393,24 @@ impl<'a> Kernel<'a> {
         self.powered_alive.min(self.cfg.required)
     }
 
+    /// Drops queued images that have outlived the freshness deadline
+    /// (no-op with faults disabled or `deadline_ticks` 0).
+    fn shed_expired(&mut self) {
+        let Some(f) = self.cfg.faults else { return };
+        let deadline = f.policy.deadline_ticks;
+        if deadline == 0 {
+            return;
+        }
+        let now = self.now;
+        let before = self.batch_queue.len();
+        self.batch_queue
+            .retain(|img| now.saturating_sub(img.capture) <= deadline);
+        self.trace.shed_deadline += (before - self.batch_queue.len()) as u64;
+    }
+
     fn try_dispatch(&mut self) {
         loop {
+            self.shed_expired();
             if self.busy_nodes >= self.capacity() || self.batch_queue.is_empty() {
                 return;
             }
@@ -293,10 +423,10 @@ impl<'a> Kernel<'a> {
                 return;
             }
             let size = self.batch_queue.len().min(self.cfg.batch_target as usize);
-            let captures: Vec<Tick> = self
+            let captures: Vec<(Tick, u32)> = self
                 .batch_queue
                 .drain(..size)
-                .map(|img| img.capture)
+                .map(|img| (img.capture, img.attempt))
                 .collect();
             if !full {
                 self.trace.timeout_batches += 1;
@@ -319,17 +449,69 @@ impl<'a> Kernel<'a> {
         }
     }
 
+    /// Whether an SEU corrupts one image finishing now. Consumes a fault-
+    /// stream draw only when the effective upset probability is non-zero.
+    fn image_corrupted(&mut self) -> bool {
+        let Some(f) = self.cfg.faults else {
+            return false;
+        };
+        let p = f.upset_probability_at(self.now);
+        p > 0.0 && self.fault_rng.next_f64() < p
+    }
+
+    /// Bounded retry with exponential backoff + jitter: schedules a
+    /// reprocessing attempt, or abandons the image once the budget is
+    /// spent.
+    fn handle_corruption(&mut self, capture: Tick, attempt: u32) {
+        self.trace.corrupted += 1;
+        let Some(f) = self.cfg.faults else { return };
+        if attempt >= f.policy.max_retries {
+            self.trace.retry_exhausted += 1;
+            return;
+        }
+        let next = attempt + 1;
+        let mut delay = f.backoff_ticks(next);
+        if f.policy.backoff_jitter_ticks > 0 {
+            delay += self.fault_rng.next_u64() % (f.policy.backoff_jitter_ticks + 1);
+        }
+        self.trace.retries += 1;
+        self.queue.push(
+            self.now + delay,
+            Event::Retry {
+                capture,
+                attempt: next,
+            },
+        );
+    }
+
+    fn shed_downlink_overflow(&mut self) {
+        let Some(f) = self.cfg.faults else { return };
+        let limit = f.policy.downlink_queue_limit;
+        if limit == 0 {
+            return;
+        }
+        while self.downlink_queue.len() > limit {
+            self.downlink_queue.pop_front();
+            self.trace.shed_downlink_overflow += 1;
+        }
+    }
+
     fn on_batch_done(&mut self, slot: u32) {
         let captures = self.in_flight[slot as usize]
             .take()
             .expect("BatchDone for an empty slot");
         self.free_slots.push(slot);
         self.busy_nodes -= 1;
-        for capture in captures {
+        for (capture, attempt) in captures {
+            if self.image_corrupted() {
+                self.handle_corruption(capture, attempt);
+                continue;
+            }
             self.trace.processed += 1;
             self.trace.record_processing_latency(self.now - capture);
             self.downlink_queue.push_back(capture);
         }
+        self.shed_downlink_overflow();
         self.trace
             .note_downlink_queue_len(self.downlink_queue.len());
         self.try_downlink();
@@ -349,11 +531,21 @@ impl<'a> Kernel<'a> {
     fn on_contact_start(&mut self) {
         self.queue
             .push(self.now + self.cfg.contact_gap_ticks, Event::ContactStart);
+        if let Some(g) = self.cfg.faults.and_then(|f| f.ground) {
+            self.window_blacked_out = self.blackout_rng.next_f64() < g.blackout_probability;
+            if self.window_blacked_out {
+                self.trace.blackout_windows += 1;
+            }
+        }
         self.try_downlink();
     }
 
     fn try_downlink(&mut self) {
-        if self.dl_busy || self.downlink_queue.is_empty() || !self.in_contact(self.now) {
+        if self.dl_busy
+            || self.downlink_queue.is_empty()
+            || !self.in_contact(self.now)
+            || self.window_blacked_out
+        {
             return;
         }
         // A transmission must finish inside the current window; whatever
@@ -387,15 +579,31 @@ impl<'a> Kernel<'a> {
     }
 
     fn on_node_failure(&mut self, node: u32) {
-        debug_assert_eq!(self.node_states[node as usize], NodeState::PoweredAlive);
+        if self.node_states[node as usize] != NodeState::PoweredAlive {
+            // Stale event: the node already died between scheduling and
+            // delivery (e.g. a storm latch-up destroyed it first).
+            return;
+        }
         self.node_states[node as usize] = NodeState::Dead;
         self.powered_alive -= 1;
         self.trace.failures += 1;
-        // Promote the oldest cold spare whose dormant aging has not already
-        // consumed its life. Dormant time ages at `dormant_aging` of the
-        // powered rate, and promotion spends whatever life remains.
+        self.promote_spare();
+        // Lost capacity never cancels in-flight batches (they complete on
+        // the failing node's redundant pair); new dispatches see the
+        // reduced capacity via `capacity()`.
+        self.try_dispatch();
+    }
+
+    /// Promotes the oldest cold spare whose dormant aging has not already
+    /// consumed its life. Dormant time ages at `dormant_aging` of the
+    /// powered rate, and promotion spends whatever life remains.
+    fn promote_spare(&mut self) {
         while let Some((spare, life)) = self.spares.pop_front() {
-            let dormant_consumed = self.cfg.dormant_aging * (self.now as f64 / self.cfg.mttf_ticks);
+            let dormant_consumed = if self.cfg.mttf_ticks.is_finite() {
+                self.cfg.dormant_aging * (self.now as f64 / self.cfg.mttf_ticks)
+            } else {
+                0.0
+            };
             let remaining = life - dormant_consumed;
             if remaining <= 0.0 {
                 self.node_states[spare as usize] = NodeState::Dead;
@@ -405,16 +613,82 @@ impl<'a> Kernel<'a> {
             self.node_states[spare as usize] = NodeState::PoweredAlive;
             self.powered_alive += 1;
             self.trace.promotions += 1;
-            self.queue.push(
-                self.now + duration_ticks(remaining * self.cfg.mttf_ticks),
-                Event::NodeFailure { node: spare },
-            );
+            if remaining.is_finite() {
+                self.queue.push(
+                    self.now + duration_ticks(remaining * self.cfg.mttf_ticks),
+                    Event::NodeFailure { node: spare },
+                );
+            }
             break;
         }
-        // Lost capacity never cancels in-flight batches (they complete on
-        // the failing node's redundant pair); new dispatches see the
-        // reduced capacity via `capacity()`.
+    }
+
+    /// A solar-storm window opens: every powered node faces an independent
+    /// latch-up draw from its own `(node, storm)` stream, so one node's
+    /// fate never depends on how many others are powered — adding spares
+    /// can only add capacity, never redirect damage.
+    fn on_storm_start(&mut self) {
+        let Some(s) = self.cfg.faults.and_then(|f| f.storm) else {
+            return;
+        };
+        self.queue
+            .push(self.now + s.period_ticks, Event::StormStart);
+        let storm = self.storm_seq;
+        self.storm_seq += 1;
+        if s.node_kill_probability <= 0.0 {
+            return;
+        }
+        // Severity is one draw per storm from a reserved slot of the
+        // storm's stream block: it couples every node's kill odds without
+        // ever depending on the node count or which nodes are powered, so
+        // adding spares still cannot hurt any individual node.
+        let major = s.major_probability > 0.0 && {
+            let severity_stream = STORM_KILL_STREAM_BASE
+                + storm * STORM_KILL_STREAM_STRIDE
+                + (STORM_KILL_STREAM_STRIDE - 1);
+            Rng64::stream(self.seed, severity_stream).next_f64() < s.major_probability
+        };
+        let kill_probability = s.kill_probability(major);
+        for node in 0..self.cfg.nodes {
+            if self.node_states[node as usize] != NodeState::PoweredAlive {
+                continue;
+            }
+            let stream =
+                STORM_KILL_STREAM_BASE + storm * STORM_KILL_STREAM_STRIDE + u64::from(node);
+            if Rng64::stream(self.seed, stream).next_f64() < kill_probability {
+                self.node_states[node as usize] = NodeState::Dead;
+                self.powered_alive -= 1;
+                self.trace.failures += 1;
+                self.trace.storm_node_kills += 1;
+                self.promote_spare();
+            }
+        }
         self.try_dispatch();
+    }
+
+    fn on_isl_link_down(&mut self, link: u32) {
+        let Some(isl) = self.cfg.faults.and_then(|f| f.isl) else {
+            return;
+        };
+        self.isl_links_up -= 1;
+        self.trace.isl_flaps += 1;
+        let dt = duration_ticks(self.isl_rngs[link as usize].next_exp() * isl.mean_down_ticks);
+        self.queue.push(self.now + dt, Event::IslLinkUp { link });
+    }
+
+    fn on_isl_link_up(&mut self, link: u32) {
+        let Some(isl) = self.cfg.faults.and_then(|f| f.isl) else {
+            return;
+        };
+        self.isl_links_up += 1;
+        let dt = duration_ticks(self.isl_rngs[link as usize].next_exp() * isl.mean_up_ticks);
+        self.queue.push(self.now + dt, Event::IslLinkDown { link });
+        // A transfer stalled by a total outage restarts on recovery.
+        if !self.isl_busy {
+            if let Some(next) = self.isl_queue.pop_front() {
+                self.start_isl_transfer(next);
+            }
+        }
     }
 
     fn on_sample(&mut self) {
@@ -509,6 +783,118 @@ mod tests {
         assert!(t.promotions > 0, "spares should be promoted");
         assert!(t.promotions <= 10);
         assert!(t.availability() > 0.0 && t.availability() <= 1.0);
+    }
+
+    #[test]
+    fn fault_injected_runs_are_deterministic() {
+        use crate::fault::{FaultConfig, GroundBlackouts, IslFlaps, StormModel};
+        let mut f = FaultConfig::quiet();
+        f.upset_probability = 0.05;
+        f.storm = Some(StormModel {
+            period_ticks: 4000,
+            duration_ticks: 600,
+            offset_ticks: 1000,
+            seu_multiplier: 20.0,
+            node_kill_probability: 0.2,
+            major_probability: 0.25,
+            major_multiplier: 3.0,
+        });
+        f.isl = Some(IslFlaps {
+            links: 3,
+            mean_up_ticks: 2000.0,
+            mean_down_ticks: 400.0,
+        });
+        f.ground = Some(GroundBlackouts {
+            blackout_probability: 0.3,
+        });
+        let cfg = SimConfig::reference_operations(Seconds::new(1800.0)).with_faults(f);
+        let a = run(&cfg, 21);
+        assert_eq!(a, run(&cfg, 21));
+        assert_ne!(a, run(&cfg, 22));
+    }
+
+    #[test]
+    fn storm_latchups_kill_nodes_and_degrade_availability() {
+        use crate::fault::{FaultConfig, StormModel};
+        let mut f = FaultConfig::quiet();
+        f.storm = Some(StormModel {
+            period_ticks: 3000,
+            duration_ticks: 300,
+            offset_ticks: 500,
+            seu_multiplier: 1.0,
+            node_kill_probability: 0.5,
+            major_probability: 0.0,
+            major_multiplier: 1.0,
+        });
+        // No Weibull failures, no spares: every capability loss is storm
+        // damage.
+        let cfg = SimConfig::reference_operations(Seconds::new(1800.0)).with_faults(f);
+        let t = run(&cfg, 9);
+        assert!(t.storm_node_kills > 0, "storms must kill nodes");
+        assert_eq!(t.failures, t.storm_node_kills);
+        assert!(t.availability() < 1.0);
+    }
+
+    #[test]
+    fn total_blackouts_stop_all_delivery() {
+        use crate::fault::{FaultConfig, GroundBlackouts};
+        let mut f = FaultConfig::quiet();
+        f.ground = Some(GroundBlackouts {
+            blackout_probability: 1.0,
+        });
+        let cfg = SimConfig::reference_operations(Seconds::new(3600.0)).with_faults(f);
+        let t = run(&cfg, 5);
+        assert!(t.processed > 0, "compute keeps running through blackouts");
+        assert_eq!(t.delivered, 0, "every contact window was blacked out");
+        assert!(t.blackout_windows > 0);
+    }
+
+    #[test]
+    fn certain_corruption_exhausts_the_retry_budget() {
+        use crate::fault::FaultConfig;
+        let mut f = FaultConfig::quiet();
+        f.upset_probability = 1.0;
+        let cfg = SimConfig::reference_operations(Seconds::new(1800.0)).with_faults(f);
+        let t = run(&cfg, 13);
+        assert_eq!(t.processed, 0, "every completion is corrupted");
+        assert_eq!(t.delivered, 0);
+        assert!(t.corrupted > 0);
+        assert!(t.retries > 0, "corrupted work must be retried");
+        assert!(t.retry_exhausted > 0, "the bounded budget must run out");
+        // Each image is abandoned only after max_retries reprocessings.
+        assert!(t.corrupted > t.retry_exhausted);
+    }
+
+    #[test]
+    fn link_flaps_slow_but_do_not_lose_work() {
+        use crate::fault::{FaultConfig, IslFlaps};
+        let mut f = FaultConfig::quiet();
+        f.isl = Some(IslFlaps {
+            links: 2,
+            mean_up_ticks: 1500.0,
+            mean_down_ticks: 500.0,
+        });
+        let cfg = SimConfig::reference_operations(Seconds::new(3600.0)).with_faults(f);
+        let t = run(&cfg, 17);
+        assert!(t.isl_flaps > 0, "links must flap over an hour");
+        let base = run(&SimConfig::reference_operations(Seconds::new(3600.0)), 17);
+        assert_eq!(t.captured, base.captured, "arrivals share the seed");
+        // Flapping delays work but the pipeline still moves data.
+        assert!(t.processed > 0);
+    }
+
+    #[test]
+    fn bounded_queues_shed_oldest_work() {
+        use crate::fault::FaultConfig;
+        let mut f = FaultConfig::quiet();
+        f.policy.batch_queue_limit = 2;
+        // Starve compute so the batch queue must overflow: keep nodes but
+        // make service glacial.
+        let mut cfg = SimConfig::reference_operations(Seconds::new(1800.0)).with_faults(f);
+        cfg.service_ticks_per_image = 1e6;
+        let t = run(&cfg, 3);
+        assert!(t.shed_batch_overflow > 0, "a 2-deep queue must overflow");
+        assert!(t.max_batch_queue() <= 2);
     }
 
     #[test]

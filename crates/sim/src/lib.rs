@@ -13,6 +13,9 @@
 //! - [`event`] — integer-tick clock and the deterministic event queue;
 //! - [`config`] — [`config::SimConfig`]: the physical scenario quantized
 //!   onto ticks, bridged from `sudc_core::dynamics::DynamicScenario`;
+//! - [`fault`] — [`fault::FaultConfig`]: opt-in correlated fault
+//!   processes (solar storms, cohort infant mortality, ISL flaps, ground
+//!   blackouts) and the recovery policies that absorb them;
 //! - [`kernel`] — [`kernel::run`]: one seeded single-threaded run;
 //! - [`metrics`] — [`metrics::RunTrace`]: counts, latency percentiles,
 //!   exact time-weighted integrals;
@@ -36,12 +39,16 @@
 
 pub mod config;
 pub mod event;
+pub mod fault;
 pub mod kernel;
 pub mod metrics;
 pub mod replicate;
 
 pub use config::SimConfig;
 pub use event::{Event, EventQueue, Tick};
+pub use fault::{
+    FaultConfig, GroundBlackouts, InfantMortality, IslFlaps, RecoveryPolicy, StormModel,
+};
 pub use kernel::run;
 pub use metrics::{try_percentile, BacklogSample, LatencySummary, RunTrace};
 pub use replicate::{replicate, try_replicate, SimSummary, DEFAULT_SEED};

@@ -157,6 +157,29 @@ pub struct RunTrace {
     /// Cold spares found dead (dormant aging) at promotion time.
     pub dormant_deaths: u64,
 
+    /// Images whose processing an SEU corrupted (fault injection only).
+    pub corrupted: u64,
+    /// Reprocessing attempts scheduled after corruption.
+    pub retries: u64,
+    /// Images abandoned after exhausting the retry budget.
+    pub retry_exhausted: u64,
+    /// Images shed by the bounded batch queue (oldest-first overflow).
+    pub shed_batch_overflow: u64,
+    /// Insights shed by the bounded downlink queue.
+    pub shed_downlink_overflow: u64,
+    /// Images shed for missing the freshness deadline.
+    pub shed_deadline: u64,
+    /// Powered nodes destroyed by storm latch-up shocks.
+    pub storm_node_kills: u64,
+    /// ISL link down-transitions (flaps).
+    pub isl_flaps: u64,
+    /// Ground-contact windows lost to blackouts.
+    pub blackout_windows: u64,
+    /// Whether fault injection was configured for this run. Gates the
+    /// `faults` JSON block so fault-free artifacts stay byte-identical to
+    /// the pre-fault-injection format.
+    faults_enabled: bool,
+
     processing_latencies: Vec<Tick>,
     delivery_latencies: Vec<Tick>,
     samples: Vec<BacklogSample>,
@@ -189,6 +212,16 @@ impl RunTrace {
             failures: 0,
             promotions: 0,
             dormant_deaths: 0,
+            corrupted: 0,
+            retries: 0,
+            retry_exhausted: 0,
+            shed_batch_overflow: 0,
+            shed_downlink_overflow: 0,
+            shed_deadline: 0,
+            storm_node_kills: 0,
+            isl_flaps: 0,
+            blackout_windows: 0,
+            faults_enabled: cfg.faults.is_some(),
             processing_latencies: Vec::new(),
             delivery_latencies: Vec::new(),
             samples: Vec::new(),
@@ -351,6 +384,24 @@ impl RunTrace {
         self.delivered as f64 / (self.duration_seconds() / 3600.0)
     }
 
+    /// Fraction of work offered to the pipeline (post-filter arrivals)
+    /// that reached the ground: the resilience headline metric. 1 when
+    /// nothing arrived (an empty pipeline delivers all of nothing).
+    #[must_use]
+    pub fn delivered_fraction(&self) -> f64 {
+        if self.arrived == 0 {
+            1.0
+        } else {
+            self.delivered as f64 / self.arrived as f64
+        }
+    }
+
+    /// Whether fault injection was configured for this run.
+    #[must_use]
+    pub fn faults_enabled(&self) -> bool {
+        self.faults_enabled
+    }
+
     /// Backlog-age statistics over the periodic samples, seconds (empty
     /// pipeline samples count as age 0).
     #[must_use]
@@ -381,7 +432,7 @@ impl RunTrace {
     /// [`sudc_par::json::MAX_EXACT_JSON_INT`].
     pub fn try_to_json(&self) -> Result<Json, SudcError> {
         debug_assert!(self.finished, "serializing an unfinished trace");
-        Ok(Json::object()
+        let mut json = Json::object()
             .with("duration_s", self.duration_seconds())
             .with("captured", Json::try_from(self.captured)?)
             .with("filtered_out", Json::try_from(self.filtered_out)?)
@@ -412,7 +463,33 @@ impl RunTrace {
                 "max_downlink_backlog",
                 Json::try_from(self.max_downlink_queue as u64)?,
             )
-            .with("delivered_per_hour", self.delivered_per_hour()))
+            .with("delivered_per_hour", self.delivered_per_hour());
+        // Only fault-injected runs carry the fault block: fault-free
+        // artifacts (e.g. results/sim.txt) must stay byte-identical to the
+        // pre-fault-injection format.
+        if self.faults_enabled {
+            json = json.with(
+                "faults",
+                Json::object()
+                    .with("delivered_fraction", self.delivered_fraction())
+                    .with("corrupted", Json::try_from(self.corrupted)?)
+                    .with("retries", Json::try_from(self.retries)?)
+                    .with("retry_exhausted", Json::try_from(self.retry_exhausted)?)
+                    .with(
+                        "shed_batch_overflow",
+                        Json::try_from(self.shed_batch_overflow)?,
+                    )
+                    .with(
+                        "shed_downlink_overflow",
+                        Json::try_from(self.shed_downlink_overflow)?,
+                    )
+                    .with("shed_deadline", Json::try_from(self.shed_deadline)?)
+                    .with("storm_node_kills", Json::try_from(self.storm_node_kills)?)
+                    .with("isl_flaps", Json::try_from(self.isl_flaps)?)
+                    .with("blackout_windows", Json::try_from(self.blackout_windows)?),
+            );
+        }
+        Ok(json)
     }
 }
 

@@ -71,3 +71,6 @@ pub use sudc_core as core;
 
 /// Deterministic discrete-event constellation operations simulator.
 pub use sudc_sim as sim;
+
+/// Fault-injection campaigns and resilience reports over the simulator.
+pub use sudc_chaos as chaos;

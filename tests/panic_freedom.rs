@@ -12,19 +12,24 @@
 //! pass (see `.github/workflows/ci.yml`).
 
 use proptest::prelude::*;
+use space_udc::chaos::ChaosSummary;
 use space_udc::core::dynamics::DynamicScenario;
 use space_udc::core::tco::TcoReport;
 use space_udc::core::{Scenario, SuDcDesign};
 use space_udc::errors::SudcError;
+use space_udc::orbital::radiation::{
+    try_dose_rate, try_mission_dose, RadiationRegime, TidAssessment,
+};
 use space_udc::par::json::Json;
 use space_udc::par::rng::Rng64;
+use space_udc::reliability::softerror::imagenet_suite;
 use space_udc::sim::{try_percentile, try_replicate, SimConfig, SimSummary, DEFAULT_SEED};
 use space_udc::sscm::calibration::{try_fit_cer, Observation};
 use space_udc::sscm::cer::Cer;
 use space_udc::sscm::sensitivity::try_tornado;
 use space_udc::sscm::subsystems::SubsystemCers;
 use space_udc::sscm::{CostEstimate, LearningCurve, SscmInputs, Subsystem, SubsystemCost};
-use space_udc::units::{Kilograms, Seconds, Usd, Watts, Years};
+use space_udc::units::{Kilograms, KradSi, Seconds, Usd, Watts, Years};
 
 /// Property case count, overridable for CI smoke runs.
 fn cases() -> u32 {
@@ -303,6 +308,75 @@ proptest! {
         if let Err(e) = result {
             prop_assert!(structured(&e), "{e}");
         }
+    }
+
+    #[test]
+    fn softerror_try_forms_reject_exactly_invalid_epsilons(sel in 0u32..8, mag in 1.0..9.0f64) {
+        let h = hostile(sel, mag);
+        let valid = h.is_finite() && (0.0..=1.0).contains(&h);
+        for model in imagenet_suite() {
+            model.try_validate().expect("suite models are valid");
+            let p = model.try_corruption_probability(h);
+            prop_assert_eq!(p.is_ok(), valid);
+            match p {
+                Ok(p) => {
+                    prop_assert!((0.0..=1.0).contains(&p));
+                }
+                Err(e) => {
+                    prop_assert!(structured(&e), "{e}");
+                }
+            }
+            let a = model.try_accuracy_under_faults(h);
+            prop_assert_eq!(a.is_ok(), valid);
+            if let Err(e) = a {
+                prop_assert!(structured(&e), "{e}");
+            }
+        }
+    }
+
+    #[test]
+    fn radiation_try_forms_reject_exactly_invalid_shielding(
+        s1 in 0u32..8, s2 in 0u32..8, s3 in 0u32..8, mag in 1.0..9.0f64,
+    ) {
+        let (shield, life, tolerance) = (hostile(s1, mag), hostile(s2, mag), hostile(s3, mag));
+        let shield_ok = shield.is_finite() && shield >= 0.0;
+        let rate = try_dose_rate(RadiationRegime::LeoNonPolar, shield);
+        prop_assert_eq!(rate.is_ok(), shield_ok);
+        if let Err(e) = rate {
+            prop_assert!(structured(&e), "{e}");
+        }
+        let dose = try_mission_dose(RadiationRegime::LeoPolar, shield, Years::new(life));
+        let life_ok = life.is_finite() && life >= 0.0;
+        prop_assert_eq!(dose.is_ok(), shield_ok && life_ok);
+        if let Err(e) = dose {
+            prop_assert!(structured(&e), "{e}");
+        }
+        let assess = TidAssessment::try_assess(
+            RadiationRegime::Geo,
+            shield,
+            Years::new(life),
+            KradSi::new(tolerance),
+        );
+        let tolerance_ok = tolerance.is_finite() && tolerance >= 0.0;
+        prop_assert_eq!(assess.is_ok(), shield_ok && life_ok && tolerance_ok);
+        if let Err(e) = assess {
+            prop_assert!(structured(&e), "{e}");
+        }
+    }
+
+    #[test]
+    fn chaos_grid_try_run_rejects_exactly_degenerate_grids(
+        sel in 0u32..8, mag in 1.0..9.0f64, reps in 0u32..3, n_spares in 0usize..3,
+    ) {
+        let duration = hostile(sel, mag);
+        let spares: Vec<u32> = (0..n_spares as u32).collect();
+        // Drive only the validation path here: grids that would pass it
+        // actually *run* (the report's own tests cover those), and a
+        // hostile-but-positive duration could make that run unbounded.
+        prop_assume!(!(duration.is_finite() && duration > 0.0) || reps == 0 || spares.is_empty());
+        let result = ChaosSummary::try_run(Seconds::new(duration), &spares, reps, 7);
+        prop_assert!(result.is_err());
+        prop_assert!(structured(&result.unwrap_err()));
     }
 
     #[test]
