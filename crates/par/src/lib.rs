@@ -201,6 +201,60 @@ where
     par_map_threads(threads(), items, f)
 }
 
+/// Caps `workers` so no chunk holds fewer than `min_chunk` items: spawning
+/// a thread for a handful of cheap items costs more than the items
+/// themselves. With fewer than `2 * min_chunk` items everything runs on
+/// the caller's thread. A `min_chunk` of 0 or 1 changes nothing.
+///
+/// The cap only changes *where* work runs, never its order: chunked
+/// primitives merge left-to-right in index order, so results stay
+/// bit-identical to the uncapped (and the serial) form.
+#[must_use]
+pub fn workers_for_min_chunk(len: usize, workers: usize, min_chunk: usize) -> usize {
+    if min_chunk <= 1 {
+        return workers;
+    }
+    workers.min((len / min_chunk).max(1))
+}
+
+/// [`par_map`] with a serial-fallback threshold: the ambient thread count
+/// is capped so every chunk gets at least `min_chunk` items, and batches
+/// smaller than `2 * min_chunk` skip thread spawning entirely. Output is
+/// bit-identical to [`par_map`] (and to a serial map) — the threshold is
+/// purely a performance knob for small batches of cheap items.
+pub fn par_map_min_chunk<T, R, F>(items: &[T], min_chunk: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = workers_for_min_chunk(items.len(), threads(), min_chunk);
+    par_map_threads(workers, items, f)
+}
+
+/// [`par_reduce`] with a serial-fallback threshold, mirroring
+/// [`par_map_min_chunk`]: chunks never shrink below `min_chunk` items and
+/// small batches fold inline on the caller's thread. The merge stays
+/// left-to-right in chunk order, so any reduction that is thread-count
+/// invariant under [`par_reduce`] remains bit-identical here.
+pub fn par_reduce_min_chunk<T, A, I, F, M>(
+    items: &[T],
+    min_chunk: usize,
+    init: I,
+    fold: F,
+    merge: M,
+) -> A
+where
+    T: Sync,
+    A: Send,
+    I: Fn() -> A + Sync,
+    F: Fn(A, usize, &T) -> A + Sync,
+    M: Fn(A, A) -> A,
+{
+    let workers = workers_for_min_chunk(items.len(), threads(), min_chunk);
+    par_reduce_threads(workers, items, init, fold, merge)
+}
+
 /// Maps a fallible `f` over `items` in parallel, returning the first error
 /// (in input order) or every result in input order.
 ///
@@ -385,6 +439,47 @@ mod tests {
         let items = [f64::NAN, 2.0, f64::NAN];
         assert_eq!(par_max_by(&items, |_, &x| x), Some((1, 2.0)));
         set_threads(0);
+    }
+
+    #[test]
+    fn min_chunk_caps_workers_without_changing_results() {
+        // Boundary behavior of the cap itself.
+        assert_eq!(workers_for_min_chunk(100, 8, 0), 8);
+        assert_eq!(workers_for_min_chunk(100, 8, 1), 8);
+        assert_eq!(workers_for_min_chunk(63, 8, 32), 1, "below 2*min_chunk");
+        assert_eq!(workers_for_min_chunk(64, 8, 32), 2, "exactly 2*min_chunk");
+        assert_eq!(workers_for_min_chunk(65, 8, 32), 2);
+        assert_eq!(workers_for_min_chunk(256, 8, 32), 8, "cap saturates");
+        assert_eq!(workers_for_min_chunk(0, 8, 32), 1);
+
+        // Serial/parallel equivalence AT the threshold boundary: one item
+        // below it (inline path), exactly at it (2 workers), and far above
+        // it (uncapped) must all match the serial map bit for bit.
+        for len in [63usize, 64, 65, 512] {
+            let items: Vec<u64> = (0..len as u64).collect();
+            let serial: Vec<u64> = items.iter().map(|&x| x * 3 + 1).collect();
+            for workers in [1, 2, 8] {
+                set_threads(workers);
+                assert_eq!(
+                    par_map_min_chunk(&items, 32, |_, &x| x * 3 + 1),
+                    serial,
+                    "len={len} workers={workers}"
+                );
+                let sum = par_reduce_min_chunk(
+                    &items,
+                    32,
+                    || 0u64,
+                    |acc, _, &x| acc + x * 3 + 1,
+                    |a, b| a + b,
+                );
+                assert_eq!(
+                    sum,
+                    serial.iter().sum::<u64>(),
+                    "len={len} workers={workers}"
+                );
+            }
+            set_threads(0);
+        }
     }
 
     #[test]

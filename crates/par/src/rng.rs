@@ -56,6 +56,16 @@ impl Rng64 {
         Self::new(mixed ^ seed.rotate_left(17))
     }
 
+    /// Touches the generator state so an upcoming draw from this
+    /// generator finds it in cache: a safe prefetch for hot loops that
+    /// already know which stream they will draw from next. The dead load
+    /// retires out of order, so the miss overlaps useful work instead of
+    /// stalling the draw.
+    #[inline]
+    pub fn warm(&self) {
+        std::hint::black_box(self.s[0]);
+    }
+
     /// Next raw 64-bit output.
     #[must_use]
     pub fn next_u64(&mut self) -> u64 {

@@ -20,6 +20,14 @@ pub const DEFAULT_MC_SEED: u64 = 0x5bdc_2025;
 /// changes which thread runs a block, never the draws inside it.
 const TRIAL_BLOCK: u32 = 1024;
 
+/// Minimum RNG blocks a worker thread must receive before the Monte-Carlo
+/// sweeps spawn threads at all: small studies (a few thousand trials) were
+/// *slower* in parallel than serial because the spawn/join overhead
+/// exceeded the work (`BENCH_sweeps.json` showed 0.99× on
+/// `monte_carlo_availability`). Thread-count invariance is unaffected —
+/// block RNG streams derive from the block index alone.
+pub(crate) const MIN_BLOCKS_PER_THREAD: usize = 4;
+
 /// A pool of `nodes` identical servers of which `required` must work.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct NodePool {
@@ -222,8 +230,9 @@ impl NodePool {
             .enumerate()
             .map(|(b, size)| (b as u64, size))
             .collect();
-        let hits = sudc_par::par_reduce(
+        let hits = sudc_par::par_reduce_min_chunk(
             &blocks,
+            MIN_BLOCKS_PER_THREAD,
             || 0u64,
             |acc, _, &(block, size)| {
                 let mut rng = Rng64::stream(seed, block);

@@ -10,7 +10,7 @@
 use sudc_errors::{Diagnostics, SudcError};
 use sudc_par::rng::Rng64;
 
-use crate::availability::block_sizes;
+use crate::availability::{block_sizes, MIN_BLOCKS_PER_THREAD};
 
 /// How spares are held before activation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -118,7 +118,7 @@ pub fn try_simulate(
     // Per-block partials in parallel, then a serial fold in block order:
     // float addition is not associative, so the summation tree must not
     // depend on the thread count.
-    let partials = sudc_par::par_map(&blocks, |block, &size| {
+    let partials = sudc_par::par_map_min_chunk(&blocks, MIN_BLOCKS_PER_THREAD, |block, &size| {
         let mut rng = Rng64::stream(seed, block as u64);
         simulate_block(config, dormant_aging, size, &mut rng)
     });

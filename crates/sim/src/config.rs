@@ -252,6 +252,51 @@ impl SimConfig {
         })
     }
 
+    /// Weak-scales [`SimConfig::reference_operations`] to a fleet of
+    /// `satellites`: per-satellite traffic is unchanged while the shared
+    /// resources grow with the fleet — the ISL and downlink are
+    /// provisioned `satellites / 64` times the reference aggregate rate
+    /// (per-image transfer ticks shrink by that ratio) and the compute
+    /// pool scales by the same ratio. Utilization therefore stays near
+    /// the reference working point at any fleet size, which is exactly
+    /// what a scaling study needs: event count grows linearly while the
+    /// queueing regime stays comparable. `scaled_fleet(64, d)` is
+    /// identical to `reference_operations(d)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `satellites` is zero (see
+    /// [`SimConfig::try_scaled_fleet`]).
+    #[must_use]
+    pub fn scaled_fleet(satellites: u32, duration: Seconds) -> Self {
+        match Self::try_scaled_fleet(satellites, duration) {
+            Ok(cfg) => cfg,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible form of [`SimConfig::scaled_fleet`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a structured error if `satellites` is zero.
+    pub fn try_scaled_fleet(satellites: u32, duration: Seconds) -> Result<Self, SudcError> {
+        let mut d = Diagnostics::new("SimConfig::scaled_fleet");
+        d.positive_count("satellites", u64::from(satellites));
+        d.finish()?;
+        let mut cfg = Self::reference_operations(duration);
+        let ratio = f64::from(satellites) / f64::from(cfg.satellites);
+        cfg.satellites = satellites;
+        cfg.isl_transfer_ticks /= ratio;
+        cfg.downlink_transfer_ticks /= ratio;
+        cfg.nodes = ((f64::from(cfg.nodes) * ratio).ceil() as u32).max(1);
+        cfg.required = ((f64::from(cfg.required) * ratio).ceil() as u32)
+            .max(1)
+            .min(cfg.nodes);
+        cfg.try_validate()?;
+        Ok(cfg)
+    }
+
     /// Returns this configuration with fault injection enabled.
     #[must_use]
     pub fn with_faults(mut self, faults: FaultConfig) -> Self {
@@ -378,6 +423,36 @@ mod tests {
     #[should_panic(expected = "cannot require")]
     fn impossible_pool_is_rejected() {
         let _ = SimConfig::cold_spare_mission(5, 10, 0.1, 1.0);
+    }
+
+    #[test]
+    fn scaled_fleet_at_64_is_the_reference_preset() {
+        let d = Seconds::new(1800.0);
+        assert_eq!(
+            SimConfig::scaled_fleet(64, d),
+            SimConfig::reference_operations(d)
+        );
+    }
+
+    #[test]
+    fn scaled_fleet_grows_shared_resources_with_the_fleet() {
+        let d = Seconds::new(1800.0);
+        let base = SimConfig::reference_operations(d);
+        let big = SimConfig::scaled_fleet(1000, d);
+        big.validate();
+        assert_eq!(big.satellites, 1000);
+        // Per-satellite arrival process is untouched (weak scaling).
+        assert!((big.frame_interval_ticks - base.frame_interval_ticks).abs() < 1e-12);
+        // Shared links absorb the ratio: per-image ticks shrink by it.
+        let ratio = 1000.0 / 64.0;
+        assert!((big.isl_transfer_ticks * ratio - base.isl_transfer_ticks).abs() < 1e-9);
+        assert!((big.downlink_transfer_ticks * ratio - base.downlink_transfer_ticks).abs() < 1e-9);
+        // Compute pool scales with traffic; the pool stays feasible.
+        assert!(big.nodes > base.nodes);
+        assert!(big.required >= base.required && big.required <= big.nodes);
+
+        let err = SimConfig::try_scaled_fleet(0, d).unwrap_err();
+        assert!(err.to_string().contains("satellites"), "{err}");
     }
 
     #[test]

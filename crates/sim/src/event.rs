@@ -1,14 +1,54 @@
 //! The discrete-event kernel's clock and event queue.
 //!
 //! Time is an integer tick count (`u64`); the physical length of a tick is
-//! a [`crate::config::SimConfig`] concern, not the kernel's. The queue is
-//! a binary heap keyed on `(tick, sequence)`: events at the same tick pop
-//! in the order they were pushed, so a run is a pure function of its
-//! configuration and seed — no hash-map iteration order, no wall clock,
-//! no thread interleaving anywhere in the hot loop.
+//! a [`crate::config::SimConfig`] concern, not the kernel's. Events are
+//! keyed `(tick, sequence)`: events at the same tick pop in the order they
+//! were pushed, so a run is a pure function of its configuration and seed —
+//! no hash-map iteration order, no wall clock, no thread interleaving
+//! anywhere in the hot loop.
+//!
+//! Two queue implementations share that contract:
+//!
+//! - [`EventQueue`] — a hierarchical timing wheel ([`LEVELS`] levels of
+//!   [`SLOTS`] slots, [`LEVEL_BITS`] bits per level) with a calendar-queue
+//!   overflow heap for events beyond the wheel horizon (far-future Weibull
+//!   failures, distant contact windows). Push and pop are O(1) amortized,
+//!   independent of the number of pending events — the property that keeps
+//!   100k-satellite fleets at interactive speed.
+//! - [`BinaryHeapQueue`] — the original `BinaryHeap<(tick, seq)>` queue,
+//!   kept verbatim as the reference model for property tests and as the
+//!   honest baseline for `BENCH_sim.json` throughput comparisons.
+//!
+//! # Why the wheel preserves pop order exactly
+//!
+//! Let `W` be the wheel time (the last tick popped from the wheel, never
+//! decreasing). Three invariants, each enforced structurally:
+//!
+//! 1. **Past-tick pushes** (`tick < W`) go to the `due` heap. Every `due`
+//!    tick is strictly below `W`, and every wheel/overflow tick is `>= W`,
+//!    so draining `due` first is globally minimal and no same-tick FIFO
+//!    interleaving between `due` and the wheel can exist.
+//! 2. **Wheel placement** is by the highest differing bit group between
+//!    `tick` and `W`: level `l` holds ticks whose bits above
+//!    `LEVEL_BITS * (l + 1)` equal `W`'s. Cascades only run when every
+//!    lower level is empty, and redistribute one slot's entries in push
+//!    order into empty lower slots — so each slot's deque is always
+//!    push-ordered and same-tick FIFO survives every cascade.
+//! 3. **Overflow** holds ticks whose top `64 - WHEEL_BITS` bits differ
+//!    from `W`'s; they are strictly later than everything in the wheel,
+//!    and migrate a whole wheel-horizon block at a time in `(tick, seq)`
+//!    order when the wheel drains.
+//!
+//! Wheel slots store only `(tick, event)` — no sequence number. The
+//! sequence is implicit in deque order: pushes append in push order,
+//! cascades replay a slot front to back, and an overflow migration drains
+//! its *entire* horizon block in `(tick, seq)` order before any pop
+//! returns, so a later wheel push at a migrated tick always lands behind
+//! it. Only the `due` and `overflow` heaps, which genuinely reorder, carry
+//! explicit sequence numbers.
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
 /// Integer simulation time.
 pub type Tick = u64;
@@ -67,13 +107,6 @@ pub enum Event {
     },
 }
 
-/// A deterministic future-event list.
-#[derive(Debug, Default)]
-pub struct EventQueue {
-    heap: BinaryHeap<Reverse<(Tick, u64, EventEntry)>>,
-    sequence: u64,
-}
-
 /// Wrapper ordering events only by their `(tick, sequence)` key; the
 /// payload itself never influences ordering.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -91,7 +124,294 @@ impl PartialOrd for EventEntry {
     }
 }
 
+/// Bits of tick resolved per wheel level. 10 bits (1024 slots) keeps the
+/// dominant event class — capture reschedules a few hundred ticks ahead —
+/// in level 0, where entries are popped straight out of their slot with
+/// no cascade re-handling.
+pub const LEVEL_BITS: u32 = 10;
+/// Slots per wheel level.
+pub const SLOTS: usize = 1 << LEVEL_BITS;
+/// Number of wheel levels.
+pub const LEVELS: usize = 4;
+/// Total tick bits the wheel resolves; ticks differing from the wheel
+/// time above this go to the overflow heap.
+const WHEEL_BITS: u32 = LEVEL_BITS * LEVELS as u32;
+/// `u64` words per per-level occupancy bitmap.
+const SLOT_WORDS: usize = SLOTS / 64;
+
+/// A scheduled entry inside a wheel slot: no sequence number (see the
+/// module docs — deque order is push order).
+type WheelEntry = (Tick, Event);
+
+/// Index of the first set bit at or after word `from` of a level's
+/// occupancy bitmap, if any. Callers pass the word of the wheel time's
+/// own slot: every occupied slot at a level is at or after it (wheel
+/// entries never precede the wheel time within a block), so the scan
+/// skips the permanently-empty prefix.
+#[inline]
+fn first_set_from(words: &[u64; SLOT_WORDS], from: usize) -> Option<usize> {
+    for (w, &word) in words.iter().enumerate().skip(from) {
+        if word != 0 {
+            return Some(w * 64 + word.trailing_zeros() as usize);
+        }
+    }
+    None
+}
+
+/// A deterministic future-event list: hierarchical timing wheel with a
+/// calendar-queue overflow level.
+///
+/// Same contract as [`BinaryHeapQueue`] — events pop in `(tick, push
+/// order)` order — but `push`/`pop` are O(1) amortized regardless of how
+/// many events are pending, instead of O(log n) heap sifts.
+#[derive(Debug)]
+pub struct EventQueue {
+    /// `LEVELS * SLOTS` slot deques, indexed `level * SLOTS + slot`. Each
+    /// deque stays in push order (see module docs).
+    slots: Vec<VecDeque<WheelEntry>>,
+    /// Per-level occupancy bitmaps; bit `s` set iff slot `s` is non-empty.
+    occupied: [[u64; SLOT_WORDS]; LEVELS],
+    /// Wheel time `W`: the last tick popped from the wheel (never
+    /// decreases). All wheel/overflow entries have `tick >= W`.
+    wheel_time: Tick,
+    /// Entries pushed at ticks strictly below the wheel time. Strictly
+    /// earlier than everything in the wheel, so always drained first.
+    due: BinaryHeap<Reverse<(Tick, u64, EventEntry)>>,
+    /// Entries beyond the wheel horizon, keyed `(tick, seq)`; migrated a
+    /// whole horizon block at a time when the wheel drains.
+    overflow: BinaryHeap<Reverse<(Tick, u64, EventEntry)>>,
+    /// Reusable buffer for cascade redistribution, so the steady state
+    /// never drops or regrows a slot allocation.
+    scratch: VecDeque<WheelEntry>,
+    sequence: u64,
+    len: usize,
+    peak: usize,
+}
+
+impl Default for EventQueue {
+    fn default() -> Self {
+        Self {
+            slots: (0..LEVELS * SLOTS).map(|_| VecDeque::new()).collect(),
+            occupied: [[0; SLOT_WORDS]; LEVELS],
+            wheel_time: 0,
+            due: BinaryHeap::new(),
+            overflow: BinaryHeap::new(),
+            scratch: VecDeque::new(),
+            sequence: 0,
+            len: 0,
+            peak: 0,
+        }
+    }
+}
+
 impl EventQueue {
+    /// Creates an empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `event` at `tick`. Events at equal ticks pop in push
+    /// order (FIFO).
+    pub fn push(&mut self, tick: Tick, event: Event) {
+        self.len += 1;
+        if self.len > self.peak {
+            self.peak = self.len;
+        }
+        if tick < self.wheel_time {
+            self.due
+                .push(Reverse((tick, self.sequence, EventEntry(event))));
+            self.sequence += 1;
+        } else if (tick ^ self.wheel_time) >> WHEEL_BITS != 0 {
+            self.overflow
+                .push(Reverse((tick, self.sequence, EventEntry(event))));
+            self.sequence += 1;
+        } else {
+            self.place(tick, event);
+        }
+    }
+
+    /// Files an in-horizon `tick >= wheel_time` entry into its wheel
+    /// level.
+    #[inline]
+    fn place(&mut self, tick: Tick, event: Event) {
+        let diff = tick ^ self.wheel_time;
+        debug_assert_eq!(diff >> WHEEL_BITS, 0, "place() past the horizon");
+        // Highest differing LEVEL_BITS group picks the level; diff == 0
+        // (tick == wheel time) lands in level 0.
+        let level = if diff == 0 {
+            0
+        } else {
+            ((63 - diff.leading_zeros()) / LEVEL_BITS) as usize
+        };
+        let shift = LEVEL_BITS * level as u32;
+        let slot = ((tick >> shift) & (SLOTS as u64 - 1)) as usize;
+        self.slots[level * SLOTS + slot].push_back((tick, event));
+        self.occupied[level][slot >> 6] |= 1 << (slot & 63);
+    }
+
+    /// Pops the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(Tick, Event)> {
+        if self.len == 0 {
+            return None;
+        }
+        // Past-tick pushes are strictly earlier than the wheel (invariant
+        // 1 in the module docs): drain them first.
+        if let Some(Reverse((tick, _, EventEntry(e)))) = self.due.pop() {
+            self.len -= 1;
+            return Some((tick, e));
+        }
+        let slot = self
+            .lowest_ready_slot()
+            .expect("len > 0 with empty storage");
+        let deque = &mut self.slots[slot];
+        let (tick, event) = deque.pop_front().expect("occupied slot is empty");
+        if deque.is_empty() {
+            self.occupied[0][slot >> 6] &= !(1 << (slot & 63));
+        }
+        self.wheel_time = tick;
+        self.len -= 1;
+        Some((tick, event))
+    }
+
+    /// Drains every event at the earliest pending tick into `buf`
+    /// (cleared first) in FIFO order, returning that tick. Level-0 slots
+    /// hold exactly one tick each, so the drain is an O(1) buffer swap
+    /// with the slot's own deque — no per-entry copy. (The slot cannot
+    /// receive pushes while its batch is processed: a level-0 placement
+    /// needs `tick - wheel_time < SLOTS` with equal low bits, i.e. a zero
+    /// delay, and capacities circulate through the swaps, so steady state
+    /// stays allocation-free.) Past-tick (`due`) entries are rare and
+    /// surfaced one at a time. Every entry carries the returned tick.
+    ///
+    /// `len` accounting is deferred: the caller must invoke
+    /// [`EventQueue::consume_one`] once per drained event *before* any
+    /// pushes that handling the event causes, so the pending-count
+    /// trajectory — and therefore [`EventQueue::peak_len`] — is identical
+    /// to a pop-one-at-a-time loop over the same schedule.
+    ///
+    /// Returns `None` (with `buf` empty) when no events are pending.
+    pub fn pop_tick(&mut self, buf: &mut VecDeque<(Tick, Event)>) -> Option<Tick> {
+        buf.clear();
+        if self.len == 0 {
+            return None;
+        }
+        if let Some(Reverse((tick, _, EventEntry(e)))) = self.due.pop() {
+            buf.push_back((tick, e));
+            return Some(tick);
+        }
+        let slot = self
+            .lowest_ready_slot()
+            .expect("len > 0 with empty storage");
+        std::mem::swap(buf, &mut self.slots[slot]);
+        let tick = buf.front().expect("occupied slot is empty").0;
+        self.occupied[0][slot >> 6] &= !(1 << (slot & 63));
+        self.wheel_time = tick;
+        Some(tick)
+    }
+
+    /// Retires one event previously drained by [`EventQueue::pop_tick`]
+    /// from the pending count.
+    pub fn consume_one(&mut self) {
+        debug_assert!(self.len > 0, "consume without a drained event");
+        self.len -= 1;
+    }
+
+    /// Ensures level 0 has an occupied slot — cascading higher levels or
+    /// migrating an overflow block as needed — and returns its index, or
+    /// `None` if the whole queue is empty.
+    fn lowest_ready_slot(&mut self) -> Option<usize> {
+        loop {
+            // Level 0 slots hold exactly one tick each; the lowest
+            // occupied slot is the minimum pending tick, and it is never
+            // below the wheel time's own slot.
+            let hint = (self.wheel_time as usize & (SLOTS - 1)) >> 6;
+            if let Some(slot) = first_set_from(&self.occupied[0], hint) {
+                return Some(slot);
+            }
+            if self.cascade() {
+                continue;
+            }
+            // Wheel fully drained: migrate the next horizon block from
+            // the overflow heap (in (tick, seq) order, preserving FIFO).
+            let &Reverse((first, _, _)) = self.overflow.peek()?;
+            self.wheel_time = first >> WHEEL_BITS << WHEEL_BITS;
+            while let Some(&Reverse((tick, _, _))) = self.overflow.peek() {
+                if tick >> WHEEL_BITS != first >> WHEEL_BITS {
+                    break;
+                }
+                let Reverse((tick, _, EventEntry(e))) =
+                    self.overflow.pop().expect("peeked entry vanished");
+                self.place(tick, e);
+            }
+        }
+    }
+
+    /// Redistributes the lowest occupied slot of the lowest non-empty
+    /// level into the (empty) levels below it. Returns false if the whole
+    /// wheel is empty.
+    fn cascade(&mut self) -> bool {
+        for level in 1..LEVELS {
+            let shift = LEVEL_BITS * level as u32;
+            let hint = ((self.wheel_time >> shift) as usize & (SLOTS - 1)) >> 6;
+            let Some(slot) = first_set_from(&self.occupied[level], hint) else {
+                continue;
+            };
+            // Advance the wheel to the slot's base tick: upper bits kept,
+            // this level's bits set to the slot index, lower bits zeroed.
+            // Every entry in the slot is >= this base, and every lower
+            // level is empty, so redistribution lands in fresh slots.
+            let base =
+                ((self.wheel_time >> (shift + LEVEL_BITS)) << LEVEL_BITS | slot as Tick) << shift;
+            debug_assert!(base >= self.wheel_time);
+            self.wheel_time = base;
+            self.occupied[level][slot >> 6] &= !(1 << (slot & 63));
+            // Drain through the reusable scratch buffer: replaying front
+            // to back preserves push order, and no allocation is dropped
+            // or regrown in steady state.
+            debug_assert!(self.scratch.is_empty());
+            std::mem::swap(&mut self.scratch, &mut self.slots[level * SLOTS + slot]);
+            while let Some((tick, event)) = self.scratch.pop_front() {
+                debug_assert!(tick >= base && (tick ^ base) >> shift == 0);
+                self.place(tick, event);
+            }
+            return true;
+        }
+        false
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the queue is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Largest number of events ever pending at once.
+    #[must_use]
+    pub fn peak_len(&self) -> usize {
+        self.peak
+    }
+}
+
+/// The original binary-heap event queue, kept as the reference model for
+/// the timing wheel's property tests and as the baseline scheduler of the
+/// frozen [`crate::baseline`] kernel that `BENCH_sim.json` compares
+/// against. Pop order is identical to [`EventQueue`]'s by construction:
+/// strictly `(tick, sequence)`.
+#[derive(Debug, Default)]
+pub struct BinaryHeapQueue {
+    heap: BinaryHeap<Reverse<(Tick, u64, EventEntry)>>,
+    sequence: u64,
+    peak: usize,
+}
+
+impl BinaryHeapQueue {
     /// Creates an empty queue.
     #[must_use]
     pub fn new() -> Self {
@@ -104,6 +424,7 @@ impl EventQueue {
         self.heap
             .push(Reverse((tick, self.sequence, EventEntry(event))));
         self.sequence += 1;
+        self.peak = self.peak.max(self.heap.len());
     }
 
     /// Pops the earliest event, if any.
@@ -123,6 +444,12 @@ impl EventQueue {
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
+    }
+
+    /// Largest number of events ever pending at once.
+    #[must_use]
+    pub fn peak_len(&self) -> usize {
+        self.peak
     }
 }
 
@@ -163,5 +490,125 @@ mod tests {
         assert_eq!(q.pop(), Some((1, Event::ContactStart)));
         assert_eq!(q.pop(), Some((2, Event::Sample)));
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn far_future_events_cross_the_overflow_horizon() {
+        // Ticks beyond 2^30 from the wheel time exercise the overflow
+        // heap and whole-block migration; mix in near-term events.
+        let mut q = EventQueue::new();
+        let far = 1u64 << 40;
+        q.push(far + 3, Event::Sample);
+        q.push(5, Event::IslDone);
+        q.push(far + 3, Event::ContactStart); // same far tick: FIFO
+        q.push(far, Event::DownlinkDone);
+        q.push(2 * far, Event::StormStart);
+        assert_eq!(q.pop(), Some((5, Event::IslDone)));
+        assert_eq!(q.pop(), Some((far, Event::DownlinkDone)));
+        assert_eq!(q.pop(), Some((far + 3, Event::Sample)));
+        assert_eq!(q.pop(), Some((far + 3, Event::ContactStart)));
+        assert_eq!(q.pop(), Some((2 * far, Event::StormStart)));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn cascades_across_level_boundaries_preserve_order() {
+        // Pushes spanning every wheel level plus same-tick pairs at a
+        // level boundary; pops must match the heap model exactly.
+        let mut wheel = EventQueue::new();
+        let mut model = BinaryHeapQueue::new();
+        let ticks = [
+            0u64,
+            1,
+            63,
+            64,
+            64, // same tick across a level-0 boundary
+            65,
+            4095,
+            4096,
+            1 << 18,
+            (1 << 18) + 1,
+            1 << 24,
+            (1 << 29) + 12345,
+            (1 << 30) + 7,
+            (1 << 30) + 7,
+        ];
+        for (i, &t) in ticks.iter().enumerate() {
+            wheel.push(t, Event::Capture { sat: i as u32 });
+            model.push(t, Event::Capture { sat: i as u32 });
+        }
+        assert_eq!(wheel.len(), model.len());
+        while let Some(expected) = model.pop() {
+            assert_eq!(wheel.pop(), Some(expected));
+        }
+        assert!(wheel.is_empty());
+    }
+
+    #[test]
+    fn interleaved_drain_and_refill_matches_the_heap_model() {
+        // Deterministic pseudo-random interleaving: advance time by
+        // popping, keep pushing relative offsets (including 0 = same
+        // tick as the last pop, a "past-edge" push).
+        let mut wheel = EventQueue::new();
+        let mut model = BinaryHeapQueue::new();
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        let mut last = 0u64;
+        for round in 0..2000u32 {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            let offset = match state >> 60 {
+                0 => 0,
+                1..=9 => state % 100,
+                10..=13 => state % 10_000,
+                14 => state % (1 << 22),
+                _ => state % (1 << 34),
+            };
+            let tick = last + offset;
+            wheel.push(tick, Event::Capture { sat: round });
+            model.push(tick, Event::Capture { sat: round });
+            if state & 1 == 0 {
+                let got = wheel.pop();
+                assert_eq!(got, model.pop(), "round {round}");
+                last = got.map_or(last, |(t, _)| t);
+            }
+        }
+        while let Some(expected) = model.pop() {
+            assert_eq!(wheel.pop(), Some(expected));
+        }
+        assert!(wheel.is_empty());
+        assert_eq!(wheel.len(), 0);
+    }
+
+    #[test]
+    fn len_and_peak_track_pending_events() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(10, Event::Sample);
+        q.push(1 << 35, Event::Sample); // overflow entry counts too
+        q.push(11, Event::IslDone);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.peak_len(), 3);
+        q.pop();
+        q.pop();
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.peak_len(), 3, "peak is a high-water mark");
+        q.pop();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn heap_queue_keeps_the_original_contract() {
+        let mut q = BinaryHeapQueue::new();
+        q.push(30, Event::IslDone);
+        q.push(10, Event::ContactStart);
+        q.push(10, Event::Sample);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.peak_len(), 3);
+        assert_eq!(q.pop(), Some((10, Event::ContactStart)));
+        assert_eq!(q.pop(), Some((10, Event::Sample)));
+        assert_eq!(q.pop(), Some((30, Event::IslDone)));
+        assert_eq!(q.pop(), None);
     }
 }

@@ -37,6 +37,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod baseline;
 pub mod config;
 pub mod event;
 pub mod fault;
@@ -45,11 +46,13 @@ pub mod metrics;
 pub mod replicate;
 
 pub use config::SimConfig;
-pub use event::{Event, EventQueue, Tick};
+pub use event::{BinaryHeapQueue, Event, EventQueue, Tick};
 pub use fault::{
     FaultConfig, GroundBlackouts, InfantMortality, IslFlaps, RecoveryPolicy, StormModel,
 };
 pub use kernel::run;
-pub use metrics::{try_percentile, BacklogSample, LatencySummary, RunTrace};
-pub use replicate::{replicate, try_replicate, SimSummary, DEFAULT_SEED};
+pub use metrics::{try_percentile, BacklogSample, LatencyHist, LatencySummary, RunTrace};
+pub use replicate::{
+    replicate, scale_study, try_replicate, try_scale_study, ScalePoint, SimSummary, DEFAULT_SEED,
+};
 pub use sudc_errors::{Diagnostics, SudcError, Violation};

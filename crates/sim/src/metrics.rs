@@ -1,10 +1,22 @@
 //! Per-run metric traces and their summaries.
 //!
 //! A [`RunTrace`] is everything one kernel run measured: event counts,
-//! per-image latency samples, exact time-weighted queue/occupancy
+//! per-image latency populations, exact time-weighted queue/occupancy
 //! integrals (accumulated in integer arithmetic, so traces compare with
 //! `==`), and periodic backlog-age samples. Summaries ([`LatencySummary`],
 //! [`RunTrace::to_json`]) convert ticks to seconds only at the edge.
+//!
+//! Latency populations are stored as exact integer histograms
+//! ([`LatencyHist`]): a dense count array for small tick values (grown
+//! geometrically as a pure function of the running maximum, so the layout
+//! is a function of the recorded multiset, not insertion order) plus a
+//! sparse `BTreeMap` tail. Recording is O(1) and memory is bounded by the
+//! latency *range*, not the image count — at 100k satellites a year-long
+//! run records billions of latencies without storing any of them
+//! individually, and the summary it produces is bit-identical to the old
+//! sort-the-samples path.
+
+use std::collections::BTreeMap;
 
 use sudc_errors::SudcError;
 use sudc_par::json::{Json, ToJson};
@@ -113,6 +125,103 @@ impl ToJson for LatencySummary {
     }
 }
 
+/// Tick values below this are counted in the dense histogram array; the
+/// long tail lives in the sparse map.
+const DENSE_LIMIT: usize = 1 << 16;
+
+/// Exact streaming histogram of integer tick samples.
+///
+/// Semantically a multiset of `Tick`s: recording is O(1), and
+/// [`LatencyHist::summary`] reproduces [`LatencySummary::from_ticks`] over
+/// the equivalent sample vector bit for bit (same nearest-rank
+/// percentiles, same `sum / count` mean).
+///
+/// Equality is multiset equality: the dense array's length is a pure
+/// function of the largest small sample seen (geometric growth, capped at
+/// [`DENSE_LIMIT`]), so two histograms of the same samples compare equal
+/// regardless of recording order.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LatencyHist {
+    dense: Vec<u64>,
+    sparse: BTreeMap<Tick, u64>,
+    count: u64,
+    sum: u128,
+    max: Tick,
+}
+
+impl LatencyHist {
+    /// Records one sample.
+    pub fn record(&mut self, ticks: Tick) {
+        self.count += 1;
+        self.sum += u128::from(ticks);
+        self.max = self.max.max(ticks);
+        let t = ticks as usize;
+        if t < DENSE_LIMIT {
+            if t >= self.dense.len() {
+                let target = (t + 1).next_power_of_two().min(DENSE_LIMIT);
+                self.dense.resize(target.max(self.dense.len()), 0);
+            }
+            self.dense[t] += 1;
+        } else {
+            *self.sparse.entry(ticks).or_insert(0) += 1;
+        }
+    }
+
+    /// Number of recorded samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The `k`-th smallest sample (0-indexed). Requires `k < count`.
+    fn kth(&self, k: u64) -> Tick {
+        let mut cumulative = 0u64;
+        for (t, &n) in self.dense.iter().enumerate() {
+            cumulative += n;
+            if cumulative > k {
+                return t as Tick;
+            }
+        }
+        for (&t, &n) in &self.sparse {
+            cumulative += n;
+            if cumulative > k {
+                return t;
+            }
+        }
+        debug_assert!(false, "rank {k} out of range (count {})", self.count);
+        self.max
+    }
+
+    /// Nearest-rank order statistic matching [`try_percentile`] exactly:
+    /// `rank = ceil(q * count)`, clamped into range.
+    fn percentile(&self, q: f64) -> Tick {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (q * self.count as f64).ceil() as u64;
+        self.kth(rank.saturating_sub(1).min(self.count - 1))
+    }
+
+    /// Summary statistics in seconds, bit-identical to
+    /// `LatencySummary::from_ticks` over the same samples.
+    #[must_use]
+    pub fn summary(&self, tick_seconds: f64) -> LatencySummary {
+        let mean = if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64 * tick_seconds
+        };
+        LatencySummary {
+            count: self.count,
+            mean,
+            p50: self.percentile(0.50) as f64 * tick_seconds,
+            p95: self.percentile(0.95) as f64 * tick_seconds,
+            p99: self.percentile(0.99) as f64 * tick_seconds,
+            max: if self.count == 0 { 0 } else { self.max } as f64 * tick_seconds,
+        }
+    }
+}
+
 /// One periodic backlog sample.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BacklogSample {
@@ -180,8 +289,15 @@ pub struct RunTrace {
     /// the pre-fault-injection format.
     faults_enabled: bool,
 
-    processing_latencies: Vec<Tick>,
-    delivery_latencies: Vec<Tick>,
+    /// Events the kernel loop handled (throughput diagnostic; never
+    /// serialized, so artifacts are unchanged by its presence).
+    pub events: u64,
+    /// High-water mark of the scheduler's pending-event count
+    /// (diagnostic; never serialized).
+    pub peak_event_queue: usize,
+
+    processing_latencies: LatencyHist,
+    delivery_latencies: LatencyHist,
     samples: Vec<BacklogSample>,
 
     // Exact time-weighted integrals, advanced by the kernel event loop.
@@ -222,8 +338,10 @@ impl RunTrace {
             isl_flaps: 0,
             blackout_windows: 0,
             faults_enabled: cfg.faults.is_some(),
-            processing_latencies: Vec::new(),
-            delivery_latencies: Vec::new(),
+            events: 0,
+            peak_event_queue: 0,
+            processing_latencies: LatencyHist::default(),
+            delivery_latencies: LatencyHist::default(),
             samples: Vec::new(),
             last_tick: 0,
             busy_node_ticks: 0,
@@ -279,11 +397,11 @@ impl RunTrace {
     }
 
     pub(crate) fn record_processing_latency(&mut self, ticks: Tick) {
-        self.processing_latencies.push(ticks);
+        self.processing_latencies.record(ticks);
     }
 
     pub(crate) fn record_delivery_latency(&mut self, ticks: Tick) {
-        self.delivery_latencies.push(ticks);
+        self.delivery_latencies.record(ticks);
     }
 
     pub(crate) fn note_batch_queue_len(&mut self, len: usize) {
@@ -325,14 +443,14 @@ impl RunTrace {
     /// Capture → batch-complete latency statistics.
     #[must_use]
     pub fn processing_latency(&self) -> LatencySummary {
-        LatencySummary::from_ticks(&self.processing_latencies, self.tick_seconds)
+        self.processing_latencies.summary(self.tick_seconds)
     }
 
     /// Capture → ground-delivery latency statistics (dominated by contact
     /// waits; compare scenarios on [`RunTrace::processing_latency`]).
     #[must_use]
     pub fn delivery_latency(&self) -> LatencySummary {
-        LatencySummary::from_ticks(&self.delivery_latencies, self.tick_seconds)
+        self.delivery_latencies.summary(self.tick_seconds)
     }
 
     /// Fraction of the run with `required` healthy powered nodes.
@@ -535,6 +653,60 @@ mod tests {
         assert!((s.mean - 12.5).abs() < 1e-12);
         assert!((s.p50 - 10.0).abs() < 1e-12);
         assert!((s.max - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_summary_is_bit_identical_to_the_sorted_path() {
+        // Deterministic pseudo-random samples spanning the dense array,
+        // its growth boundaries, and the sparse tail.
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let mut samples: Vec<Tick> = Vec::new();
+        let mut hist = LatencyHist::default();
+        for i in 0..10_000u64 {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            let t = match i % 7 {
+                0 => state % 4,                                // tiny, heavy ties
+                1..=4 => state % 1000,                         // dense bulk
+                5 => state % (DENSE_LIMIT as u64 * 2),         // straddles the limit
+                _ => (DENSE_LIMIT as u64) + state % (1 << 40), // sparse tail
+            };
+            samples.push(t);
+            hist.record(t);
+        }
+        for tick_seconds in [0.1, 1.0, 2.0] {
+            let expected = LatencySummary::from_ticks(&samples, tick_seconds);
+            let got = hist.summary(tick_seconds);
+            assert_eq!(got.count, expected.count);
+            assert_eq!(got.mean.to_bits(), expected.mean.to_bits());
+            assert_eq!(got.p50.to_bits(), expected.p50.to_bits());
+            assert_eq!(got.p95.to_bits(), expected.p95.to_bits());
+            assert_eq!(got.p99.to_bits(), expected.p99.to_bits());
+            assert_eq!(got.max.to_bits(), expected.max.to_bits());
+        }
+    }
+
+    #[test]
+    fn histogram_equality_is_insertion_order_independent() {
+        let samples: [Tick; 6] = [70_000, 3, 900, 3, 12, 70_000];
+        let mut forward = LatencyHist::default();
+        let mut reverse = LatencyHist::default();
+        for &t in &samples {
+            forward.record(t);
+        }
+        for &t in samples.iter().rev() {
+            reverse.record(t);
+        }
+        assert_eq!(forward, reverse);
+        assert_eq!(forward.count(), 6);
+    }
+
+    #[test]
+    fn empty_histogram_matches_the_empty_sorted_path() {
+        let hist = LatencyHist::default();
+        let expected = LatencySummary::from_ticks(&[], 0.1);
+        assert_eq!(hist.summary(0.1), expected);
     }
 
     #[test]

@@ -7,10 +7,18 @@
 //! kernel is single-threaded-deterministic and `par_map` preserves input
 //! order, the resulting `Vec<RunTrace>` (and everything derived from it)
 //! is byte-identical whether the executor uses 1 thread or 64.
+//!
+//! [`scale_study`] extends the same discipline along a fleet-size axis:
+//! every `(fleet, rep)` pair becomes one flat job sharded across the
+//! executor, and replication `r` uses the *same* derived seed at every
+//! fleet size — common random numbers, the variance-reduction discipline
+//! the chaos engine uses across its fault grids — so cross-fleet
+//! contrasts are not polluted by fresh sampling noise.
 
 use sudc_errors::{Diagnostics, SudcError};
 use sudc_par::json::{Json, ToJson};
 use sudc_par::rng::Rng64;
+use sudc_units::Seconds;
 
 use crate::config::SimConfig;
 use crate::kernel;
@@ -68,6 +76,116 @@ pub fn try_replicate(
         let seed = Rng64::stream(base_seed, rep).next_u64();
         kernel::run(cfg, seed)
     }))
+}
+
+/// One fleet size of a [`scale_study`]: the aggregated replications plus
+/// the kernel-side throughput diagnostics the scaling benchmark reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalePoint {
+    /// Fleet size of this point (see [`SimConfig::scaled_fleet`]).
+    pub satellites: u32,
+    /// Total kernel events handled across all replications.
+    pub events: u64,
+    /// Largest pending-event count any replication's queue reached.
+    pub peak_event_queue: usize,
+    /// The usual cross-replication aggregate at this fleet size.
+    pub summary: SimSummary,
+}
+
+/// Runs a fleet-scaling study: `reps` replications of
+/// [`SimConfig::scaled_fleet`] at each size in `fleets`, every
+/// `(fleet, rep)` pair sharded as one flat parallel job, with common
+/// random numbers across fleet sizes (replication `r` draws the same
+/// seed at every size). Points are returned in `fleets` order.
+///
+/// # Panics
+///
+/// Panics if `fleets` is empty, any fleet size is zero, or `reps` is
+/// zero (see [`try_scale_study`]).
+#[must_use]
+pub fn scale_study(
+    duration: Seconds,
+    fleets: &[u32],
+    reps: u32,
+    base_seed: u64,
+) -> Vec<ScalePoint> {
+    match try_scale_study(duration, fleets, reps, base_seed) {
+        Ok(points) => points,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible form of [`scale_study`].
+///
+/// # Errors
+///
+/// Returns a structured error if `fleets` is empty, any fleet size is
+/// zero, or `reps` is zero.
+pub fn try_scale_study(
+    duration: Seconds,
+    fleets: &[u32],
+    reps: u32,
+    base_seed: u64,
+) -> Result<Vec<ScalePoint>, SudcError> {
+    let mut d = Diagnostics::new("scale study");
+    d.ensure(
+        !fleets.is_empty(),
+        "fleets.len()",
+        fleets.len(),
+        "at least one fleet size",
+    );
+    d.ensure(
+        reps > 0,
+        "reps",
+        reps,
+        "at least one replication is required",
+    );
+    let mut err = d.finish().err();
+    let mut cfgs = Vec::with_capacity(fleets.len());
+    for &n in fleets {
+        match SimConfig::try_scaled_fleet(n, duration) {
+            Ok(cfg) => cfgs.push(cfg),
+            Err(e) => {
+                err = Some(match err {
+                    Some(prev) => prev.merge(e),
+                    None => e,
+                });
+            }
+        }
+    }
+    if let Some(e) = err {
+        return Err(e);
+    }
+    // One flat job list over the whole (fleet, rep) grid: a straggler
+    // fleet size never idles workers that could be running another
+    // size's replications. Seeds depend only on `rep` — common random
+    // numbers across the fleet axis.
+    let jobs: Vec<(usize, u64)> = (0..cfgs.len())
+        .flat_map(|f| (0..u64::from(reps)).map(move |rep| (f, rep)))
+        .collect();
+    let mut traces: Vec<RunTrace> = sudc_par::par_map(&jobs, |_, &(f, rep)| {
+        let seed = Rng64::stream(base_seed, rep).next_u64();
+        kernel::run(&cfgs[f], seed)
+    });
+    let mut points = Vec::with_capacity(cfgs.len());
+    for cfg in &cfgs {
+        let rest = traces.split_off(reps as usize);
+        let fleet_traces = traces;
+        traces = rest;
+        let events = fleet_traces.iter().map(|t| t.events).sum();
+        let peak_event_queue = fleet_traces
+            .iter()
+            .map(|t| t.peak_event_queue)
+            .max()
+            .unwrap_or(0);
+        points.push(ScalePoint {
+            satellites: cfg.satellites,
+            events,
+            peak_event_queue,
+            summary: SimSummary::try_from_traces(fleet_traces)?,
+        });
+    }
+    Ok(points)
 }
 
 /// Cross-replication aggregate of a simulation study.
@@ -298,6 +416,47 @@ mod tests {
         assert!((summary.mean_delivery_p99 - populated_mean).abs() < 1e-12);
         // The biased estimator would have divided the same sum by 3.
         assert!(summary.mean_delivery_p99 > populated_mean * 2.0 / 3.0 + 1e-9);
+    }
+
+    #[test]
+    fn scale_study_shares_seeds_across_fleet_sizes() {
+        let d = Seconds::new(900.0);
+        let points = scale_study(d, &[64, 128], 3, DEFAULT_SEED);
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[0].satellites, 64);
+        assert_eq!(points[1].satellites, 128);
+        // 64 satellites IS the reference preset: the point must equal a
+        // plain replication study rep for rep (common random numbers).
+        let reference = replicate(&SimConfig::reference_operations(d), 3, DEFAULT_SEED);
+        assert_eq!(points[0].summary.traces(), &reference[..]);
+        // Larger fleets handle more events.
+        assert!(points[1].events > points[0].events);
+        assert!(points[0].events > 0 && points[0].peak_event_queue > 0);
+    }
+
+    #[test]
+    fn scale_study_is_identical_at_different_thread_counts() {
+        let d = Seconds::new(900.0);
+        let render = |threads: usize| {
+            sudc_par::set_threads(threads);
+            let points = scale_study(d, &[64, 128], 2, DEFAULT_SEED);
+            sudc_par::set_threads(0);
+            points
+        };
+        let one = render(1);
+        assert_eq!(one, render(2));
+        assert_eq!(one, render(8));
+    }
+
+    #[test]
+    fn scale_study_rejects_empty_grids_with_structured_errors() {
+        let d = Seconds::new(900.0);
+        let err = try_scale_study(d, &[], 2, DEFAULT_SEED).unwrap_err();
+        assert!(err.to_string().contains("fleets"), "{err}");
+        let err = try_scale_study(d, &[64], 0, DEFAULT_SEED).unwrap_err();
+        assert!(err.to_string().contains("reps"), "{err}");
+        let err = try_scale_study(d, &[64, 0], 2, DEFAULT_SEED).unwrap_err();
+        assert!(err.to_string().contains("satellites"), "{err}");
     }
 
     #[test]
