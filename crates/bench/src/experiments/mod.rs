@@ -12,6 +12,7 @@ mod dse;
 mod extensions;
 mod fleet;
 mod reliability;
+mod router;
 mod sim;
 mod tables;
 
@@ -23,6 +24,7 @@ pub use dse::fig17;
 pub use extensions::{ext_ablation, ext_latency, ext_precision, ext_sparing, ext_tornado};
 pub use fleet::{fig19, fig21, fig22, fig23};
 pub use reliability::{fig12, fig24, fig25, fig26, fig27, fig28};
+pub use router::ext_router;
 pub use sim::ext_sim;
 pub use tables::{table1, table2, table3};
 
@@ -77,6 +79,10 @@ pub fn all_experiments() -> Vec<(&'static str, &'static str)> {
             "chaos",
             "fault-injection campaigns vs cold spares: resilience report (extension)",
         ),
+        (
+            "router",
+            "online orbit-vs-ground request placement + sim replay (extension)",
+        ),
     ]
 }
 
@@ -118,6 +124,7 @@ pub fn run_experiment(id: &str) -> Option<String> {
         "extE" => ext_precision(),
         "sim" => ext_sim(),
         "chaos" => ext_chaos(),
+        "router" => ext_router(),
         _ => return None,
     };
     Some(report)

@@ -11,6 +11,7 @@
 
 use sudc_sim::{
     FaultConfig, GroundBlackouts, InfantMortality, IslFlaps, RecoveryPolicy, SimConfig, StormModel,
+    STANDARD_FRESHNESS_DEADLINE_S,
 };
 use sudc_units::Seconds;
 
@@ -246,7 +247,9 @@ impl Campaign {
         c.ground = Self::ground_blackouts().ground;
         c.policy.batch_queue_limit = 512;
         c.policy.downlink_queue_limit = 256;
-        c.policy.deadline = Seconds::new(900.0);
+        // The shared staleness definition: sim shedding, this campaign,
+        // and the request router all reason about the same deadline.
+        c.policy.deadline = Seconds::new(STANDARD_FRESHNESS_DEADLINE_S);
         c
     }
 

@@ -108,6 +108,11 @@ impl Rng64 {
     ///
     /// Returns a structured error if a bound is NaN/±∞ or `lo >= hi`.
     pub fn try_range(&mut self, lo: f64, hi: f64) -> Result<f64, sudc_errors::SudcError> {
+        // Hot path first: building Diagnostics allocates, and this sits
+        // inside every Monte-Carlo draw loop in the workspace.
+        if lo.is_finite() && hi.is_finite() && lo < hi {
+            return Ok(lo + self.next_f64() * (hi - lo));
+        }
         let mut d = sudc_errors::Diagnostics::new("Rng64::next_range");
         let lo_ok = d.finite("lo", lo);
         let hi_ok = d.finite("hi", hi);
@@ -120,7 +125,7 @@ impl Rng64 {
             );
         }
         d.finish()?;
-        Ok(lo + self.next_f64() * (hi - lo))
+        unreachable!("invalid range must produce a violation")
     }
 
     /// Uniform integer draw in `[0, bound)` via Lemire's multiply-shift

@@ -1,0 +1,527 @@
+//! The batch placement engine.
+//!
+//! [`Router::route_stream`] shards the stream's blocks across workers
+//! with [`sudc_par::par_map`] — each block is generated, admitted, and
+//! scored independently, and the per-block outputs are merged left to
+//! right, so the decision vector is byte-identical at any thread count.
+//!
+//! Inside a block the hot path is allocation-free: requests drain from
+//! the preallocated [`AdmissionQueue`] into structure-of-arrays columns,
+//! and each decision is four table lookups (one per tier) plus a
+//! handful of multiply-adds against the memoized
+//! [`TierTerms`](crate::config::TierTerms).
+
+use sudc_errors::SudcError;
+use sudc_par::par_map;
+
+use crate::config::{RouterConfig, APPS};
+use crate::request::{Priority, StreamConfig};
+use crate::tier::Tier;
+
+/// Outcome of one request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Verdict {
+    /// Feasible; runs on the named tier.
+    Placed(Tier),
+    /// No tier meets the deadline now, but one comes within the defer
+    /// horizon (e.g. the next ground pass) — retask next round.
+    Deferred,
+    /// No tier comes close; the request is refused.
+    Rejected,
+    /// Dropped at admission: the queue was full and this request was the
+    /// globally oldest.
+    Shed,
+}
+
+/// One placement decision.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Decision {
+    /// The request's stream id.
+    pub id: u64,
+    /// What happened.
+    pub verdict: Verdict,
+    /// Modeled capture-to-insight latency of the chosen (or best
+    /// available) tier, seconds; zero for shed requests.
+    pub latency_s: f64,
+    /// Modeled cost of the chosen tier, USD; zero unless placed.
+    pub cost_usd: f64,
+}
+
+/// Aggregated counters over a routed stream. Mergeable, so per-block
+/// stats fold deterministically in block order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoutingStats {
+    /// Requests generated.
+    pub requests: u64,
+    /// Requests placed on some tier.
+    pub placed: u64,
+    /// Requests deferred to a later scheduling round.
+    pub deferred: u64,
+    /// Requests rejected outright.
+    pub rejected: u64,
+    /// Requests shed at admission.
+    pub shed: u64,
+    /// Placed requests per tier.
+    pub tier_counts: [u64; Tier::COUNT],
+    /// Placed requests per (application, tier).
+    pub app_tier: [[u64; Tier::COUNT]; APPS],
+    /// Placed requests per priority class.
+    pub priority_placed: [u64; Priority::COUNT],
+    /// Generated requests per priority class.
+    pub priority_total: [u64; Priority::COUNT],
+    /// Sum of placed latencies, seconds.
+    pub latency_sum_s: f64,
+    /// Sum of placed costs, USD.
+    pub cost_sum_usd: f64,
+    /// Raw payload routed through the ground segment, Gbit.
+    pub ground_gbit: f64,
+    /// Ground-segment budget the stream's time-span earned, Gbit.
+    pub ground_budget_gbit: f64,
+}
+
+impl RoutingStats {
+    fn zero() -> Self {
+        Self {
+            requests: 0,
+            placed: 0,
+            deferred: 0,
+            rejected: 0,
+            shed: 0,
+            tier_counts: [0; Tier::COUNT],
+            app_tier: [[0; Tier::COUNT]; APPS],
+            priority_placed: [0; Priority::COUNT],
+            priority_total: [0; Priority::COUNT],
+            latency_sum_s: 0.0,
+            cost_sum_usd: 0.0,
+            ground_gbit: 0.0,
+            ground_budget_gbit: 0.0,
+        }
+    }
+
+    /// Folds `other` into `self` (order-sensitive only in float rounding,
+    /// which is why the engine always merges in block order).
+    pub fn merge(&mut self, other: &Self) {
+        self.requests += other.requests;
+        self.placed += other.placed;
+        self.deferred += other.deferred;
+        self.rejected += other.rejected;
+        self.shed += other.shed;
+        for t in 0..Tier::COUNT {
+            self.tier_counts[t] += other.tier_counts[t];
+        }
+        for a in 0..APPS {
+            for t in 0..Tier::COUNT {
+                self.app_tier[a][t] += other.app_tier[a][t];
+            }
+        }
+        for p in 0..Priority::COUNT {
+            self.priority_placed[p] += other.priority_placed[p];
+            self.priority_total[p] += other.priority_total[p];
+        }
+        self.latency_sum_s += other.latency_sum_s;
+        self.cost_sum_usd += other.cost_sum_usd;
+        self.ground_gbit += other.ground_gbit;
+        self.ground_budget_gbit += other.ground_budget_gbit;
+    }
+
+    /// Fraction of generated requests placed.
+    #[must_use]
+    pub fn acceptance_rate(&self) -> f64 {
+        if self.requests == 0 {
+            return 0.0;
+        }
+        self.placed as f64 / self.requests as f64
+    }
+
+    /// Mean capture-to-insight latency over placed requests, seconds.
+    #[must_use]
+    pub fn mean_latency_s(&self) -> f64 {
+        if self.placed == 0 {
+            return 0.0;
+        }
+        self.latency_sum_s / self.placed as f64
+    }
+
+    /// Mean cost over placed requests, USD.
+    #[must_use]
+    pub fn mean_cost_usd(&self) -> f64 {
+        if self.placed == 0 {
+            return 0.0;
+        }
+        self.cost_sum_usd / self.placed as f64
+    }
+
+    /// Fraction of placed requests that run in orbit (onboard or SµDC).
+    #[must_use]
+    pub fn orbital_fraction(&self) -> f64 {
+        if self.placed == 0 {
+            return 0.0;
+        }
+        (self.tier_counts[Tier::Onboard.index()] + self.tier_counts[Tier::OrbitalSudc.index()])
+            as f64
+            / self.placed as f64
+    }
+
+    /// Fraction of generated requests placed on the orbital SµDC — the
+    /// capture share the sim replay feeds back through `sudc-sim`.
+    #[must_use]
+    pub fn sudc_share(&self) -> f64 {
+        if self.requests == 0 {
+            return 0.0;
+        }
+        self.tier_counts[Tier::OrbitalSudc.index()] as f64 / self.requests as f64
+    }
+}
+
+/// A routed stream: every decision in stream order, plus aggregates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoutingOutcome {
+    /// One decision per generated request. Within a block, admission-shed
+    /// victims appear first (at the moment of shedding), then the queue
+    /// drains in priority order; blocks are concatenated in stream order.
+    pub decisions: Vec<Decision>,
+    /// Aggregates over the whole stream.
+    pub stats: RoutingStats,
+}
+
+/// Structure-of-arrays columns one block is scored from.
+struct Columns {
+    ids: Vec<u64>,
+    app: Vec<u8>,
+    priority: Vec<u8>,
+    lat_bin: Vec<u16>,
+    size_gbit: Vec<f64>,
+    deadline_s: Vec<f64>,
+}
+
+impl Columns {
+    fn with_capacity(n: usize) -> Self {
+        Self {
+            ids: Vec::with_capacity(n),
+            app: Vec::with_capacity(n),
+            priority: Vec::with_capacity(n),
+            lat_bin: Vec::with_capacity(n),
+            size_gbit: Vec::with_capacity(n),
+            deadline_s: Vec::with_capacity(n),
+        }
+    }
+}
+
+/// The placement engine: a validated [`RouterConfig`] plus the scoring
+/// loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Router {
+    cfg: RouterConfig,
+}
+
+impl Router {
+    /// Wraps a configuration, validating it first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails [`RouterConfig::try_validate`]; see
+    /// [`Router::try_new`].
+    #[must_use]
+    pub fn new(cfg: RouterConfig) -> Self {
+        cfg.validate();
+        Self { cfg }
+    }
+
+    /// Fallible [`Router::new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the configuration's validation diagnostics.
+    pub fn try_new(cfg: RouterConfig) -> Result<Self, SudcError> {
+        cfg.try_validate()?;
+        Ok(Self { cfg })
+    }
+
+    /// The reference-priced engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reference design pipeline fails (never expected).
+    #[must_use]
+    pub fn reference() -> Self {
+        Self::new(RouterConfig::reference())
+    }
+
+    /// The configuration the engine scores against.
+    #[must_use]
+    pub fn config(&self) -> &RouterConfig {
+        &self.cfg
+    }
+
+    /// Routes the whole stream, sharding blocks across worker threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stream` fails [`StreamConfig::try_validate`]; see
+    /// [`Router::try_route_stream`].
+    #[must_use]
+    pub fn route_stream(&self, stream: &StreamConfig) -> RoutingOutcome {
+        if let Err(e) = stream.try_validate() {
+            panic!("{e}");
+        }
+        let blocks: Vec<u64> = (0..stream.blocks()).collect();
+        let per_block = par_map(&blocks, |_, &b| self.route_block(stream, b));
+        let mut decisions = Vec::with_capacity(stream.requests as usize);
+        let mut stats = RoutingStats::zero();
+        for (block_decisions, block_stats) in per_block {
+            decisions.extend_from_slice(&block_decisions);
+            stats.merge(&block_stats);
+        }
+        RoutingOutcome { decisions, stats }
+    }
+
+    /// Fallible [`Router::route_stream`]: validates the configuration and
+    /// the stream before routing.
+    ///
+    /// # Errors
+    ///
+    /// Returns the merged validation diagnostics of the configuration and
+    /// the stream.
+    pub fn try_route_stream(&self, stream: &StreamConfig) -> Result<RoutingOutcome, SudcError> {
+        match (self.cfg.try_validate(), stream.try_validate()) {
+            (Ok(()), Ok(())) => Ok(self.route_stream(stream)),
+            (Err(a), Err(b)) => Err(a.merge(b)),
+            (Err(a), Ok(())) => Err(a),
+            (Ok(()), Err(b)) => Err(b),
+        }
+    }
+
+    /// Generates, admits, and scores one block.
+    fn route_block(&self, stream: &StreamConfig, b: u64) -> (Vec<Decision>, RoutingStats) {
+        let requests = stream.generate_block(b);
+        let mut stats = RoutingStats::zero();
+        stats.requests = requests.len() as u64;
+        let mut decisions = Vec::with_capacity(requests.len());
+
+        // Admission: bounded queue, shed victims decided immediately.
+        let mut queue = crate::request::AdmissionQueue::new(stream.queue_capacity);
+        for r in &requests {
+            stats.priority_total[r.priority.index()] += 1;
+            if let Some(victim) = queue.push(*r) {
+                stats.shed += 1;
+                decisions.push(Decision {
+                    id: victim.id,
+                    verdict: Verdict::Shed,
+                    latency_s: 0.0,
+                    cost_usd: 0.0,
+                });
+            }
+        }
+
+        // Drain to SoA columns in scheduling (priority) order.
+        let mut cols = Columns::with_capacity(queue.len());
+        while let Some(r) = queue.pop() {
+            cols.ids.push(r.id);
+            cols.app.push(r.app);
+            cols.priority.push(r.priority.index() as u8);
+            cols.lat_bin.push(RouterConfig::lat_bin(r.lat_deg) as u16);
+            cols.size_gbit.push(r.size_gbit * self.cfg.image_gbit);
+            cols.deadline_s.push(r.deadline_s);
+        }
+
+        // The block's time-span earns a share of each bottleneck's
+        // sustained rate: the ground segment's drain rate (shared by the
+        // edge and cloud tiers, which ride the same downlink) and the
+        // SµDC's compute-ingest rate.
+        let span_s = requests.len() as f64 / stream.arrival_per_s;
+        let mut ground_budget = self.cfg.ground_capacity_gbit_per_s * span_s;
+        let mut sudc_budget = self.cfg.sudc_capacity_gbit_per_s * span_s;
+        stats.ground_budget_gbit = ground_budget;
+
+        // Batch scoring: four memoized tier evaluations per request.
+        let n = cols.ids.len();
+        for i in 0..n {
+            let terms = &self.cfg.terms[cols.app[i] as usize];
+            let wait = self.cfg.lat_wait_s[cols.lat_bin[i] as usize];
+            let size = cols.size_gbit[i];
+            let deadline = cols.deadline_s[i];
+
+            let mut best: Option<(f64, f64, usize)> = None; // (cost, latency, tier)
+                                                            // Best latency among tiers that could still *hold* the
+                                                            // request (capacity and size allow), deadline aside — the
+                                                            // defer-vs-reject signal.
+            let mut reachable_latency = f64::INFINITY;
+            for (t, term) in terms.iter().enumerate() {
+                let open = match Tier::from_index(t) {
+                    Tier::Onboard => size <= self.cfg.onboard_max_gbit,
+                    Tier::OrbitalSudc => size <= sudc_budget,
+                    Tier::GroundEdge | Tier::Cloud => size <= ground_budget,
+                };
+                if !open {
+                    continue;
+                }
+                let latency = term.fixed_s + term.per_gbit_s * size + term.wait_scale * wait;
+                reachable_latency = reachable_latency.min(latency);
+                if latency > deadline {
+                    continue;
+                }
+                let cost = term.fixed_usd + term.per_gbit_usd * size;
+                let better = match best {
+                    None => true,
+                    Some((bc, bl, bt)) => {
+                        (cost, latency, t) < (bc, bl, bt) // cost, then latency, then tier order
+                    }
+                };
+                if better {
+                    best = Some((cost, latency, t));
+                }
+            }
+
+            let decision = match best {
+                Some((cost, latency, t)) => {
+                    let tier = Tier::from_index(t);
+                    match tier {
+                        Tier::OrbitalSudc => sudc_budget -= size,
+                        Tier::GroundEdge | Tier::Cloud => {
+                            ground_budget -= size;
+                            stats.ground_gbit += size;
+                        }
+                        Tier::Onboard => {}
+                    }
+                    stats.placed += 1;
+                    stats.tier_counts[t] += 1;
+                    stats.app_tier[cols.app[i] as usize][t] += 1;
+                    stats.priority_placed[cols.priority[i] as usize] += 1;
+                    stats.latency_sum_s += latency;
+                    stats.cost_sum_usd += cost;
+                    Decision {
+                        id: cols.ids[i],
+                        verdict: Verdict::Placed(tier),
+                        latency_s: latency,
+                        cost_usd: cost,
+                    }
+                }
+                None if reachable_latency <= deadline + self.cfg.defer_horizon_s => {
+                    stats.deferred += 1;
+                    Decision {
+                        id: cols.ids[i],
+                        verdict: Verdict::Deferred,
+                        latency_s: reachable_latency,
+                        cost_usd: 0.0,
+                    }
+                }
+                None => {
+                    stats.rejected += 1;
+                    Decision {
+                        id: cols.ids[i],
+                        verdict: Verdict::Rejected,
+                        latency_s: reachable_latency,
+                        cost_usd: 0.0,
+                    }
+                }
+            };
+            decisions.push(decision);
+        }
+
+        (decisions, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sudc_par::set_threads;
+
+    fn small_stream() -> StreamConfig {
+        let mut s = StreamConfig::new(20_000, 0x5bdc_2026, 1.4);
+        s.block = 2048;
+        s.queue_capacity = 2048;
+        s
+    }
+
+    #[test]
+    fn every_request_gets_exactly_one_decision() {
+        let router = Router::reference();
+        let out = router.route_stream(&small_stream());
+        assert_eq!(out.decisions.len(), 20_000);
+        let mut ids: Vec<u64> = out.decisions.iter().map(|d| d.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 20_000, "ids unique and complete");
+        let s = &out.stats;
+        assert_eq!(s.placed + s.deferred + s.rejected + s.shed, s.requests);
+    }
+
+    #[test]
+    fn decisions_are_identical_across_thread_counts() {
+        let router = Router::reference();
+        let stream = small_stream();
+        set_threads(1);
+        let one = router.route_stream(&stream);
+        set_threads(4);
+        let four = router.route_stream(&stream);
+        set_threads(0);
+        assert_eq!(one, four);
+    }
+
+    #[test]
+    fn placements_respect_deadlines() {
+        let router = Router::reference();
+        let stream = small_stream();
+        let out = router.route_stream(&stream);
+        // Rebuild the stream to cross-check deadlines by id.
+        let mut deadline = std::collections::HashMap::new();
+        for b in 0..stream.blocks() {
+            for r in stream.generate_block(b) {
+                deadline.insert(r.id, r.deadline_s);
+            }
+        }
+        for d in &out.decisions {
+            if let Verdict::Placed(_) = d.verdict {
+                assert!(d.latency_s <= deadline[&d.id] + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn ground_traffic_stays_within_budget() {
+        let router = Router::reference();
+        let out = router.route_stream(&small_stream());
+        assert!(out.stats.ground_gbit <= out.stats.ground_budget_gbit + 1e-6);
+    }
+
+    #[test]
+    fn tiny_queue_sheds_and_still_accounts_for_everything() {
+        let router = Router::reference();
+        let mut stream = small_stream();
+        stream.queue_capacity = 64;
+        let out = router.route_stream(&stream);
+        assert!(out.stats.shed > 0);
+        assert_eq!(out.decisions.len(), stream.requests as usize);
+        let s = &out.stats;
+        assert_eq!(s.placed + s.deferred + s.rejected + s.shed, s.requests);
+    }
+
+    #[test]
+    fn stressed_stream_overflows_to_other_tiers_and_defers() {
+        let router = Router::reference();
+        let mut stream = small_stream();
+        // Orders of magnitude above the reference capture rate: block
+        // time-spans shrink, capacity budgets dry up.
+        stream.arrival_per_s = 1.4 * 1e4;
+        let out = router.route_stream(&stream);
+        let s = &out.stats;
+        assert!(s.deferred + s.rejected > 0, "overload must show");
+        assert!(
+            s.tier_counts[Tier::Onboard.index()] > 0,
+            "small payloads overflow onboard"
+        );
+        assert_eq!(s.placed + s.deferred + s.rejected + s.shed, s.requests);
+    }
+
+    #[test]
+    fn try_route_stream_reports_bad_config_and_stream_together() {
+        let mut cfg = RouterConfig::reference();
+        cfg.deadline_slo_s = f64::NAN;
+        let router = Router { cfg };
+        let mut stream = small_stream();
+        stream.requests = 0;
+        let err = router.try_route_stream(&stream).unwrap_err();
+        assert!(err.violations().len() >= 2);
+    }
+}

@@ -1,0 +1,208 @@
+//! Replaying routed placements through the operations simulator.
+//!
+//! Routing is a steady-state pricing decision; whether the accepted
+//! placements actually *survive contact* with queueing, downlink windows,
+//! and injected faults is a dynamics question. [`RoutedLoad`] closes the
+//! loop: it turns a [`RoutingOutcome`](crate::engine::RoutingOutcome)
+//! into a `sudc-sim` scenario — the share of the stream the router sent
+//! to the orbital SµDC becomes the fraction of captures entering the
+//! orbital pipeline — runs seeded replications (optionally under a
+//! `sudc-chaos` campaign), and reports SLO attainment against the
+//! workspace-wide freshness deadline.
+
+use sudc_chaos::Campaign;
+use sudc_errors::SudcError;
+use sudc_par::json::Json;
+use sudc_sim::{try_replicate, SimConfig, SimSummary, STANDARD_FRESHNESS_DEADLINE_S};
+use sudc_units::Seconds;
+
+use crate::engine::RoutingOutcome;
+
+/// The sim-facing summary of a routed stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoutedLoad {
+    /// Fraction of generated requests placed on the orbital SµDC.
+    pub sudc_share: f64,
+    /// Fraction of placed requests running in orbit (onboard + SµDC).
+    pub orbital_fraction: f64,
+    /// Fraction of generated requests placed anywhere.
+    pub acceptance_rate: f64,
+}
+
+impl RoutedLoad {
+    /// Extracts the load profile from a routed stream.
+    #[must_use]
+    pub fn from_outcome(outcome: &RoutingOutcome) -> Self {
+        Self {
+            sudc_share: outcome.stats.sudc_share(),
+            orbital_fraction: outcome.stats.orbital_fraction(),
+            acceptance_rate: outcome.stats.acceptance_rate(),
+        }
+    }
+
+    /// The sim scenario this load induces: the reference operations
+    /// config with edge filtering set so that exactly `sudc_share` of
+    /// captures enter the orbital pipeline.
+    #[must_use]
+    pub fn sim_config(&self, duration: Seconds) -> SimConfig {
+        let mut cfg = SimConfig::reference_operations(duration);
+        cfg.filtering = (1.0 - self.sudc_share).clamp(0.0, 0.999);
+        cfg
+    }
+
+    /// Replays the load through `reps` seeded replications, optionally
+    /// under a fault campaign, and measures SLO attainment against the
+    /// workspace freshness deadline.
+    ///
+    /// # Errors
+    ///
+    /// Returns the sim configuration's validation diagnostics if the
+    /// induced scenario is invalid.
+    pub fn try_replay(
+        &self,
+        duration: Seconds,
+        reps: u32,
+        seed: u64,
+        campaign: Option<&Campaign>,
+    ) -> Result<ReplayReport, SudcError> {
+        let base = self.sim_config(duration);
+        let cfg = match campaign {
+            Some(c) => c.apply(&base),
+            None => base,
+        };
+        cfg.try_validate()?;
+        let traces = try_replicate(&cfg, reps, seed)?;
+        let slo_deadline = Seconds::new(STANDARD_FRESHNESS_DEADLINE_S);
+        let slo_attainment = traces
+            .iter()
+            .map(|t| t.delivery_within(slo_deadline))
+            .sum::<f64>()
+            / traces.len() as f64;
+        let summary = SimSummary::try_from_traces(traces)?;
+        let delivered_fraction = summary
+            .traces()
+            .iter()
+            .map(sudc_sim::RunTrace::delivered_fraction)
+            .sum::<f64>()
+            / summary.traces().len() as f64;
+        Ok(ReplayReport {
+            campaign: campaign.map(|c| c.name).unwrap_or("nominal"),
+            sudc_share: self.sudc_share,
+            reps,
+            slo_deadline_s: STANDARD_FRESHNESS_DEADLINE_S,
+            slo_attainment,
+            mean_availability: summary.mean_availability,
+            delivered_fraction,
+            mean_delivery_p99_s: summary.mean_delivery_p99,
+        })
+    }
+
+    /// Panicking [`RoutedLoad::try_replay`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the induced sim scenario fails validation.
+    #[must_use]
+    pub fn replay(
+        &self,
+        duration: Seconds,
+        reps: u32,
+        seed: u64,
+        campaign: Option<&Campaign>,
+    ) -> ReplayReport {
+        match self.try_replay(duration, reps, seed, campaign) {
+            Ok(report) => report,
+            Err(e) => panic!("{e}"),
+        }
+    }
+}
+
+/// What the simulator measured when the routed load was replayed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReplayReport {
+    /// Fault campaign name, or `"nominal"`.
+    pub campaign: &'static str,
+    /// SµDC capture share the replay modeled.
+    pub sudc_share: f64,
+    /// Seeded replications aggregated.
+    pub reps: u32,
+    /// The freshness SLO measured against, seconds.
+    pub slo_deadline_s: f64,
+    /// Mean fraction of delivered insights within the freshness SLO.
+    pub slo_attainment: f64,
+    /// Mean compute availability over the replications.
+    pub mean_availability: f64,
+    /// Mean fraction of arrived work delivered.
+    pub delivered_fraction: f64,
+    /// Mean delivery p99 latency, seconds.
+    pub mean_delivery_p99_s: f64,
+}
+
+impl ReplayReport {
+    /// JSON object for `BENCH_router.json` and the figures runner.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::object()
+            .with("campaign", self.campaign)
+            .with("sudc_share", self.sudc_share)
+            .with("reps", f64::from(self.reps))
+            .with("slo_deadline_s", self.slo_deadline_s)
+            .with("slo_attainment", self.slo_attainment)
+            .with("mean_availability", self.mean_availability)
+            .with("delivered_fraction", self.delivered_fraction)
+            .with("mean_delivery_p99_s", self.mean_delivery_p99_s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Router;
+    use crate::request::StreamConfig;
+
+    fn routed_load() -> RoutedLoad {
+        let router = Router::reference();
+        let mut stream = StreamConfig::new(8192, 0x5bdc_2026, 1.4);
+        stream.block = 2048;
+        stream.queue_capacity = 2048;
+        RoutedLoad::from_outcome(&router.route_stream(&stream))
+    }
+
+    #[test]
+    fn replay_reports_slo_attainment_in_unit_range() {
+        let load = routed_load();
+        let report = load
+            .try_replay(Seconds::new(1800.0), 2, sudc_sim::DEFAULT_SEED, None)
+            .expect("nominal replay");
+        assert_eq!(report.campaign, "nominal");
+        assert!((0.0..=1.0).contains(&report.slo_attainment));
+        assert!((0.0..=1.0).contains(&report.delivered_fraction));
+        assert!(report.mean_availability > 0.0);
+    }
+
+    #[test]
+    fn solar_storm_replay_is_no_better_than_nominal() {
+        let load = routed_load();
+        let duration = Seconds::new(1800.0);
+        let nominal = load
+            .try_replay(duration, 2, sudc_sim::DEFAULT_SEED, None)
+            .expect("nominal");
+        let storm = Campaign::solar_storm(duration);
+        let stormy = load
+            .try_replay(duration, 2, sudc_sim::DEFAULT_SEED, Some(&storm))
+            .expect("storm replay");
+        assert_eq!(stormy.campaign, storm.name);
+        assert!(stormy.mean_availability <= nominal.mean_availability + 1e-9);
+    }
+
+    #[test]
+    fn sim_config_filtering_tracks_sudc_share() {
+        let load = RoutedLoad {
+            sudc_share: 0.25,
+            orbital_fraction: 0.9,
+            acceptance_rate: 0.95,
+        };
+        let cfg = load.sim_config(Seconds::new(600.0));
+        assert!((cfg.filtering - 0.75).abs() < 1e-12);
+    }
+}

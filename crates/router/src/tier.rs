@@ -1,0 +1,89 @@
+//! The four execution tiers a tasking request can be placed on.
+
+/// Where a request's compute runs and how its result reaches the consumer.
+///
+/// The order is load-bearing: it is the deterministic tie-break when two
+/// tiers offer identical cost and latency, and it indexes the per-tier
+/// axis of every table in [`crate::RouterConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Tier {
+    /// The capturing satellite's own flight computer (embedded-class
+    /// accelerator, Radeon 780M in the hardware catalog): no data ever
+    /// leaves the bus, but inference is several times slower than on the
+    /// SµDC's datacenter GPUs.
+    Onboard = 0,
+    /// The orbital SµDC: the raw payload crosses one ISL hop, is batched
+    /// with the rest of the constellation's traffic, and only the insight
+    /// is downlinked over the always-on telemetry path.
+    OrbitalSudc = 1,
+    /// A ground-station edge node: the raw payload waits for the next
+    /// usable pass, is downlinked in full, and is processed at the
+    /// station on datacenter-class GPUs.
+    GroundEdge = 2,
+    /// A terrestrial cloud region behind the ground segment: same pass
+    /// wait and downlink as the edge, plus a WAN bulk-transfer leg, but
+    /// faster accelerators and hyperscale-amortized compute pricing.
+    Cloud = 3,
+}
+
+impl Tier {
+    /// All tiers, in placement tie-break order.
+    pub const ALL: [Self; 4] = [
+        Self::Onboard,
+        Self::OrbitalSudc,
+        Self::GroundEdge,
+        Self::Cloud,
+    ];
+
+    /// Number of tiers (the per-tier axis length of the config tables).
+    pub const COUNT: usize = 4;
+
+    /// Index into per-tier tables.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The tier at table index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= Tier::COUNT`.
+    #[must_use]
+    pub fn from_index(i: usize) -> Self {
+        Self::ALL[i]
+    }
+
+    /// Short stable identifier used in reports and JSON.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Onboard => "onboard",
+            Self::OrbitalSudc => "orbital_sudc",
+            Self::GroundEdge => "ground_edge",
+            Self::Cloud => "cloud",
+        }
+    }
+}
+
+impl core::fmt::Display for Tier {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_round_trip_in_tie_break_order() {
+        for (i, t) in Tier::ALL.iter().enumerate() {
+            assert_eq!(t.index(), i);
+            assert_eq!(Tier::from_index(i), *t);
+        }
+        assert!(Tier::Onboard < Tier::OrbitalSudc);
+        assert!(Tier::GroundEdge < Tier::Cloud);
+    }
+}

@@ -345,14 +345,14 @@ impl<'a> Kernel<'a> {
     /// The pre-rebuild O(queue) shedding scan.
     fn shed_expired(&mut self) {
         let Some(f) = self.cfg.faults else { return };
-        let deadline = f.policy.deadline_ticks;
-        if deadline == 0 {
+        let policy = f.policy;
+        if !policy.has_deadline() {
             return;
         }
         let now = self.now;
         let before = self.batch_queue.len();
         self.batch_queue
-            .retain(|img| now.saturating_sub(img.capture) <= deadline);
+            .retain(|img| !policy.deadline_expired(img.capture, now));
         self.trace.shed_deadline += (before - self.batch_queue.len()) as u64;
     }
 

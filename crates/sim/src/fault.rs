@@ -128,6 +128,20 @@ pub struct GroundBlackouts {
     pub blackout_probability: f64,
 }
 
+/// The workspace's standard capture-to-dispatch freshness deadline, in
+/// physical seconds: work older than this is stale and should be shed
+/// rather than processed.
+///
+/// This is the **single definition of "stale"** shared by every layer
+/// that reasons about freshness — the sim kernel's deadline shedding
+/// ([`RecoveryPolicy::deadline_expired`]), the chaos `combined`
+/// campaign's bounded-queue policy, and the request router's
+/// orbital-tier SLO — so the three cannot drift apart. 900 s is the
+/// paper's operations working point: roughly one LEO pass beyond the
+/// batch-accumulation window, after which an EO insight has lost its
+/// tasking value.
+pub const STANDARD_FRESHNESS_DEADLINE_S: f64 = 900.0;
+
 /// Recovery policies: what the pipeline does when fault injection bites.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RecoveryPolicy {
@@ -165,6 +179,25 @@ impl Default for RecoveryPolicy {
             downlink_queue_limit: 0,
             deadline_ticks: 0,
         }
+    }
+}
+
+impl RecoveryPolicy {
+    /// Whether a freshness deadline is armed (0 disables).
+    #[must_use]
+    pub fn has_deadline(&self) -> bool {
+        self.deadline_ticks != 0
+    }
+
+    /// The shared deadline predicate: has work captured at `capture`
+    /// outlived the freshness deadline by `now`? Always `false` with the
+    /// deadline disarmed (`deadline_ticks == 0`). Both sim kernels, the
+    /// chaos campaigns (via their lowered tick policies), and the request
+    /// router's deferral check route staleness through this one
+    /// definition.
+    #[must_use]
+    pub fn deadline_expired(&self, capture: Tick, now: Tick) -> bool {
+        self.deadline_ticks != 0 && now.saturating_sub(capture) > self.deadline_ticks
     }
 }
 
@@ -417,6 +450,20 @@ mod tests {
             (extreme.kill_probability(true) - 1.0).abs() < 1e-12,
             "clamped"
         );
+    }
+
+    #[test]
+    fn deadline_predicate_is_the_single_staleness_definition() {
+        let mut p = RecoveryPolicy::default();
+        assert!(!p.has_deadline());
+        // Disarmed: nothing is ever stale, however old.
+        assert!(!p.deadline_expired(0, u64::MAX));
+        p.deadline_ticks = 100;
+        assert!(p.has_deadline());
+        assert!(!p.deadline_expired(50, 150), "exactly at the deadline");
+        assert!(p.deadline_expired(50, 151), "one tick past");
+        // Clock weirdness (capture after now) never counts as stale.
+        assert!(!p.deadline_expired(200, 150));
     }
 
     #[test]

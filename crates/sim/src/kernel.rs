@@ -526,8 +526,8 @@ impl<'a> Kernel<'a> {
     /// exactly the entries whose age exceeds the deadline.
     fn shed_expired(&mut self) {
         let Some(f) = self.cfg.faults else { return };
-        let deadline = f.policy.deadline_ticks;
-        if deadline == 0 {
+        let policy = f.policy;
+        if !policy.has_deadline() {
             return;
         }
         let now = self.now;
@@ -535,7 +535,7 @@ impl<'a> Kernel<'a> {
             while self
                 .batch_queue
                 .front()
-                .is_some_and(|img| now.saturating_sub(img.capture) > deadline)
+                .is_some_and(|img| policy.deadline_expired(img.capture, now))
             {
                 self.batch_queue.pop_front();
                 self.trace.shed_deadline += 1;
@@ -544,7 +544,7 @@ impl<'a> Kernel<'a> {
             let before = self.batch_queue.len();
             let mut retried_shed = 0usize;
             self.batch_queue.retain(|img| {
-                let keep = now.saturating_sub(img.capture) <= deadline;
+                let keep = !policy.deadline_expired(img.capture, now);
                 if !keep && img.attempt > 0 {
                     retried_shed += 1;
                 }

@@ -49,6 +49,7 @@ pub use config::SimConfig;
 pub use event::{BinaryHeapQueue, Event, EventQueue, Tick};
 pub use fault::{
     FaultConfig, GroundBlackouts, InfantMortality, IslFlaps, RecoveryPolicy, StormModel,
+    STANDARD_FRESHNESS_DEADLINE_S,
 };
 pub use kernel::run;
 pub use metrics::{try_percentile, BacklogSample, LatencyHist, LatencySummary, RunTrace};

@@ -202,6 +202,25 @@ impl LatencyHist {
         self.kth(rank.saturating_sub(1).min(self.count - 1))
     }
 
+    /// Fraction of recorded samples at or below `ticks` (1 for an empty
+    /// histogram: a vacuously met bound, matching
+    /// [`RunTrace::delivered_fraction`]'s empty-pipeline convention).
+    #[must_use]
+    pub fn fraction_within(&self, ticks: Tick) -> f64 {
+        if self.count == 0 {
+            return 1.0;
+        }
+        let mut within = 0u64;
+        for (t, &n) in self.dense.iter().enumerate() {
+            if t as Tick > ticks {
+                break;
+            }
+            within += n;
+        }
+        within += self.sparse.range(..=ticks).map(|(_, &n)| n).sum::<u64>();
+        within as f64 / self.count as f64
+    }
+
     /// Summary statistics in seconds, bit-identical to
     /// `LatencySummary::from_ticks` over the same samples.
     #[must_use]
@@ -453,6 +472,17 @@ impl RunTrace {
         self.delivery_latencies.summary(self.tick_seconds)
     }
 
+    /// Fraction of delivered insights whose capture → ground-delivery
+    /// latency met `deadline` seconds (1 when nothing was delivered — a
+    /// vacuously met SLO, matching [`RunTrace::delivered_fraction`]).
+    /// The router's replay loop scores its placement decisions with this
+    /// against the shared freshness deadline.
+    #[must_use]
+    pub fn delivery_within(&self, deadline: sudc_units::Seconds) -> f64 {
+        let ticks = (deadline.value() / self.tick_seconds).floor() as Tick;
+        self.delivery_latencies.fraction_within(ticks)
+    }
+
     /// Fraction of the run with `required` healthy powered nodes.
     #[must_use]
     pub fn availability(&self) -> f64 {
@@ -644,6 +674,23 @@ mod tests {
             assert!(err.to_string().contains('q'), "{err}");
         }
         assert_eq!(try_percentile(&[1, 2, 3], 1.0).unwrap(), 3);
+    }
+
+    #[test]
+    fn fraction_within_counts_dense_and_sparse_samples() {
+        let mut hist = LatencyHist::default();
+        assert!((hist.fraction_within(0) - 1.0).abs() < 1e-12, "vacuous");
+        // Dense samples plus two far in the sparse tail.
+        for t in [1u64, 2, 3, 4] {
+            hist.record(t);
+        }
+        hist.record(5_000_000);
+        hist.record(6_000_000);
+        assert!((hist.fraction_within(0) - 0.0).abs() < 1e-12);
+        assert!((hist.fraction_within(2) - 2.0 / 6.0).abs() < 1e-12);
+        assert!((hist.fraction_within(4) - 4.0 / 6.0).abs() < 1e-12);
+        assert!((hist.fraction_within(5_000_000) - 5.0 / 6.0).abs() < 1e-12);
+        assert!((hist.fraction_within(u64::MAX) - 1.0).abs() < 1e-12);
     }
 
     #[test]

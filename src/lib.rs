@@ -74,3 +74,6 @@ pub use sudc_sim as sim;
 
 /// Fault-injection campaigns and resilience reports over the simulator.
 pub use sudc_chaos as chaos;
+
+/// Online orbit-vs-ground request placement engine.
+pub use sudc_router as router;

@@ -23,6 +23,7 @@ use space_udc::orbital::radiation::{
 use space_udc::par::json::Json;
 use space_udc::par::rng::Rng64;
 use space_udc::reliability::softerror::imagenet_suite;
+use space_udc::router::{Router, RouterConfig, StreamConfig};
 use space_udc::sim::{try_percentile, try_replicate, SimConfig, SimSummary, DEFAULT_SEED};
 use space_udc::sscm::calibration::{try_fit_cer, Observation};
 use space_udc::sscm::cer::Cer;
@@ -56,6 +57,14 @@ fn hostile(sel: u32, mag: f64) -> f64 {
 
 /// A structured error carries at least one violation, and every violation
 /// names a parameter path and an allowed range.
+/// The reference router pricing tables, derived once — the derivation
+/// walks the scenario design and TCO pipeline, too slow per property
+/// case.
+fn router_config() -> RouterConfig {
+    static CFG: std::sync::OnceLock<RouterConfig> = std::sync::OnceLock::new();
+    CFG.get_or_init(RouterConfig::reference).clone()
+}
+
 fn structured(e: &SudcError) -> bool {
     !e.context().is_empty()
         && !e.violations().is_empty()
@@ -403,6 +412,51 @@ proptest! {
         if let Err(e) = result {
             prop_assert!(structured(&e), "{e}");
         }
+    }
+
+    #[test]
+    fn router_config_try_validate_flags_hostile_fields(
+        field in 0u32..8, sel in 0u32..8, mag in 1.0..9.0f64, app in 0usize..10,
+        bin in 0usize..181,
+    ) {
+        let h = hostile(sel, mag);
+        let mut cfg = router_config();
+        // Poison one scalar, one pricing-table entry, or one wait bin.
+        let positive = match field {
+            0 => { cfg.deadline_slo_s = h; true }
+            1 => { cfg.defer_horizon_s = h; false }
+            2 => { cfg.image_gbit = h; true }
+            3 => { cfg.ground_capacity_gbit_per_s = h; true }
+            4 => { cfg.sudc_capacity_gbit_per_s = h; true }
+            5 => { cfg.onboard_max_gbit = h; true }
+            6 => { cfg.terms[app][1].per_gbit_usd = h; false }
+            _ => { cfg.lat_wait_s[bin] = h; false }
+        };
+        let result = cfg.try_validate();
+        let valid = h.is_finite() && if positive { h > 0.0 } else { h >= 0.0 };
+        prop_assert_eq!(result.is_ok(), valid);
+        if let Err(e) = result {
+            prop_assert!(structured(&e), "{e}");
+        }
+    }
+
+    #[test]
+    fn router_try_route_stream_rejects_exactly_invalid_streams(
+        sel in 0u32..8, mag in 1.0..9.0f64, requests in 1u64..5000,
+    ) {
+        let h = hostile(sel, mag);
+        let router = Router::new(router_config());
+        let stream = StreamConfig::new(requests, DEFAULT_SEED, h);
+        let result = router.try_route_stream(&stream);
+        let valid = h.is_finite() && h > 0.0;
+        prop_assert_eq!(result.is_ok(), valid);
+        if let Err(e) = result {
+            prop_assert!(structured(&e), "{e}");
+        }
+        // A zero-length stream is rejected regardless of the rate.
+        let empty = StreamConfig { requests: 0, ..StreamConfig::new(1, DEFAULT_SEED, 1.0) };
+        let err = router.try_route_stream(&empty).unwrap_err();
+        prop_assert!(structured(&err), "{err}");
     }
 }
 
