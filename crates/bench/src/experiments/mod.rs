@@ -5,6 +5,7 @@
 //! and [`all_experiments`] lists everything for the `figures` binary.
 
 mod arch;
+mod bus;
 mod chaos;
 mod comms;
 mod cost;
@@ -17,6 +18,7 @@ mod sim;
 mod tables;
 
 pub use arch::{fig11, fig15, fig16, fig3, fig9};
+pub use bus::ext_bus;
 pub use chaos::ext_chaos;
 pub use comms::{fig10, fig7, fig8};
 pub use cost::{fig4, fig5, fig6};
@@ -83,6 +85,10 @@ pub fn all_experiments() -> Vec<(&'static str, &'static str)> {
             "router",
             "online orbit-vs-ground request placement + sim replay (extension)",
         ),
+        (
+            "bus",
+            "QoS pub/sub data plane: topics, lowering, record->replay audit (extension)",
+        ),
     ]
 }
 
@@ -125,6 +131,7 @@ pub fn run_experiment(id: &str) -> Option<String> {
         "sim" => ext_sim(),
         "chaos" => ext_chaos(),
         "router" => ext_router(),
+        "bus" => ext_bus(),
         _ => return None,
     };
     Some(report)

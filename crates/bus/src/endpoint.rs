@@ -1,0 +1,296 @@
+//! DataWriter/DataReader-shaped endpoint: a queued topic channel that
+//! *executes* a lowered QoS contract.
+//!
+//! The sim kernel drives its pipeline through the synchronous
+//! [`crate::Bus`]; [`TopicChannel`] is the buffered counterpart used
+//! where samples genuinely wait — contact-window store-and-forward,
+//! cross-shard handoff — and it is the object the proptest model test
+//! (`tests/bus_model.rs`) holds to a flat-scan reference:
+//!
+//! * FIFO within a topic,
+//! * `RELIABLE` never drops a sample while its retry budget lasts,
+//! * `DEADLINE` expiry sheds oldest-first at take time,
+//! * bounded history evicts oldest-first at publish time,
+//! * `TRANSIENT_LOCAL` retains delivered samples for late joiners.
+
+use crate::qos::{LoweredQos, QosContract};
+use crate::sample::Tick;
+use std::collections::VecDeque;
+use sudc_errors::SudcError;
+
+/// A sample handed out by [`TopicChannel::take`]. Keep it to ack
+/// (drop), or return it via [`TopicChannel::nack`] to spend one retry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Delivery<T> {
+    /// The published data.
+    pub data: T,
+    /// Tick the sample was published.
+    pub published: Tick,
+    /// Delivery attempts so far, counting this one (first attempt = 1).
+    pub attempt: u32,
+    /// Publication sequence number within this channel.
+    pub seq: u64,
+}
+
+/// Delivery counters for one channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ChannelStats {
+    /// Samples accepted by `publish`.
+    pub published: u64,
+    /// Samples handed to the reader (each attempt counts once).
+    pub delivered: u64,
+    /// Samples shed because their deadline expired in queue.
+    pub shed_deadline: u64,
+    /// Samples evicted by the bounded history at publish time.
+    pub evicted: u64,
+    /// Samples abandoned after exhausting the retry budget.
+    pub retry_exhausted: u64,
+    /// Samples dropped on nack under best-effort reliability.
+    pub best_effort_drops: u64,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Entry<T> {
+    seq: u64,
+    published: Tick,
+    attempt: u32,
+    data: T,
+}
+
+/// One topic's buffered writer/reader pair under a lowered QoS
+/// contract.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopicChannel<T> {
+    qos: LoweredQos,
+    queue: VecDeque<Entry<T>>,
+    retained: VecDeque<(Tick, T)>,
+    next_seq: u64,
+    stats: ChannelStats,
+}
+
+impl<T: Clone> TopicChannel<T> {
+    /// Builds a channel from a wall-clock contract and tick length.
+    ///
+    /// # Errors
+    /// Returns a [`SudcError`] if the contract or tick length is
+    /// invalid (see [`QosContract::try_lower`]).
+    pub fn try_new(qos: &QosContract, tick_seconds: f64) -> Result<Self, SudcError> {
+        Ok(Self::from_lowered(qos.try_lower(tick_seconds)?))
+    }
+
+    /// Builds a channel from an already-lowered contract.
+    #[must_use]
+    pub fn from_lowered(qos: LoweredQos) -> Self {
+        Self {
+            qos,
+            queue: VecDeque::new(),
+            retained: VecDeque::new(),
+            next_seq: 0,
+            stats: ChannelStats::default(),
+        }
+    }
+
+    /// The lowered contract this channel executes.
+    #[must_use]
+    pub fn qos(&self) -> LoweredQos {
+        self.qos
+    }
+
+    /// Writes one sample. If the bounded history is full, the *oldest*
+    /// queued sample is evicted to make room (newest data wins — the
+    /// store-and-forward buffer keeps the freshest backlog).
+    pub fn publish(&mut self, tick: Tick, data: T) {
+        self.stats.published += 1;
+        self.queue.push_back(Entry {
+            seq: self.next_seq,
+            published: tick,
+            attempt: 0,
+            data,
+        });
+        self.next_seq += 1;
+        if self.qos.history_depth > 0 {
+            while self.queue.len() > self.qos.history_depth {
+                self.queue.pop_front();
+                self.stats.evicted += 1;
+            }
+        }
+    }
+
+    /// Whether a sample published at `published` has outlived the
+    /// deadline at `now`.
+    fn expired(&self, published: Tick, now: Tick) -> bool {
+        self.qos.deadline_ticks != 0 && now.saturating_sub(published) > self.qos.deadline_ticks
+    }
+
+    /// Reads the oldest live sample. Deadline-expired samples ahead of
+    /// it are shed oldest-first, matching the kernel's `shed_expired`.
+    pub fn take(&mut self, now: Tick) -> Option<Delivery<T>> {
+        while let Some(front) = self.queue.front() {
+            if self.expired(front.published, now) {
+                self.queue.pop_front();
+                self.stats.shed_deadline += 1;
+            } else {
+                break;
+            }
+        }
+        let mut entry = self.queue.pop_front()?;
+        entry.attempt += 1;
+        self.stats.delivered += 1;
+        if self.qos.transient_local {
+            self.retained
+                .push_back((entry.published, entry.data.clone()));
+            if self.qos.history_depth > 0 {
+                while self.retained.len() > self.qos.history_depth {
+                    self.retained.pop_front();
+                }
+            }
+        }
+        Some(Delivery {
+            data: entry.data,
+            published: entry.published,
+            attempt: entry.attempt,
+            seq: entry.seq,
+        })
+    }
+
+    /// Returns a failed delivery to the channel. Under `RELIABLE` the
+    /// sample goes back to the *front* (FIFO order preserved) until its
+    /// retry budget is spent; under best-effort it is dropped.
+    ///
+    /// Returns `true` if the sample will be retried.
+    pub fn nack(&mut self, delivery: Delivery<T>) -> bool {
+        if self.qos.max_retries == 0 {
+            self.stats.best_effort_drops += 1;
+            return false;
+        }
+        if delivery.attempt > self.qos.max_retries {
+            self.stats.retry_exhausted += 1;
+            return false;
+        }
+        self.queue.push_front(Entry {
+            seq: delivery.seq,
+            published: delivery.published,
+            attempt: delivery.attempt,
+            data: delivery.data,
+        });
+        true
+    }
+
+    /// Samples currently queued (undelivered).
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Delivery counters so far.
+    #[must_use]
+    pub fn stats(&self) -> ChannelStats {
+        self.stats
+    }
+
+    /// `TRANSIENT_LOCAL` late-join replay: the retained samples a
+    /// newly-attached reader receives, oldest first. Empty for
+    /// volatile channels.
+    #[must_use]
+    pub fn attach_reader(&self) -> Vec<(Tick, T)> {
+        self.retained.iter().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qos::{Durability, Reliability};
+
+    fn reliable(depth: usize, deadline_ticks: u64, max_retries: u32) -> TopicChannel<u64> {
+        TopicChannel::from_lowered(LoweredQos {
+            deadline_ticks,
+            max_retries,
+            history_depth: depth,
+            transient_local: false,
+        })
+    }
+
+    #[test]
+    fn fifo_within_topic() {
+        let mut ch = reliable(0, 0, 3);
+        for i in 0..10u64 {
+            ch.publish(i, i);
+        }
+        for i in 0..10u64 {
+            assert_eq!(ch.take(100).unwrap().data, i);
+        }
+        assert!(ch.take(100).is_none());
+    }
+
+    #[test]
+    fn reliable_retries_preserve_order_then_exhaust() {
+        let mut ch = reliable(0, 0, 2);
+        ch.publish(0, 7);
+        ch.publish(0, 8);
+        // First sample fails twice, succeeds within budget; order holds.
+        let d = ch.take(1).unwrap();
+        assert!(ch.nack(d)); // attempt 1 -> retry
+        let d = ch.take(2).unwrap();
+        assert_eq!((d.data, d.attempt), (7, 2));
+        assert!(ch.nack(d)); // attempt 2 -> retry (budget = 2)
+        let d = ch.take(3).unwrap();
+        assert_eq!((d.data, d.attempt), (7, 3));
+        assert!(!ch.nack(d)); // budget spent -> abandoned
+        assert_eq!(ch.take(4).unwrap().data, 8);
+        assert_eq!(ch.stats().retry_exhausted, 1);
+    }
+
+    #[test]
+    fn deadline_sheds_oldest_first_at_take() {
+        let mut ch = reliable(0, 10, 0);
+        ch.publish(0, 1);
+        ch.publish(5, 2);
+        ch.publish(20, 3);
+        // At tick 20 the tick-0 sample is 20 > 10 ticks old -> shed;
+        // the tick-5 sample is 15 > 10 -> shed; tick-20 survives.
+        let d = ch.take(20).unwrap();
+        assert_eq!(d.data, 3);
+        assert_eq!(ch.stats().shed_deadline, 2);
+    }
+
+    #[test]
+    fn bounded_history_evicts_oldest() {
+        let mut ch = reliable(2, 0, 0);
+        ch.publish(0, 1);
+        ch.publish(1, 2);
+        ch.publish(2, 3);
+        assert_eq!(ch.depth(), 2);
+        assert_eq!(ch.stats().evicted, 1);
+        assert_eq!(ch.take(3).unwrap().data, 2);
+        assert_eq!(ch.take(3).unwrap().data, 3);
+    }
+
+    #[test]
+    fn transient_local_replays_to_late_joiners() {
+        let qos = QosContract {
+            reliability: Reliability::Reliable { max_retries: 1 },
+            deadline_s: 0.0,
+            durability: Durability::TransientLocal,
+            history_depth: 2,
+        };
+        let mut ch: TopicChannel<u64> = TopicChannel::try_new(&qos, 0.1).unwrap();
+        for i in 0..4u64 {
+            ch.publish(i, 10 + i);
+            ch.take(i);
+        }
+        // Late joiner sees the last `history_depth` delivered samples.
+        let replay = ch.attach_reader();
+        assert_eq!(replay, vec![(2, 12), (3, 13)]);
+    }
+
+    #[test]
+    fn best_effort_drops_on_nack() {
+        let mut ch = reliable(0, 0, 0);
+        ch.publish(0, 9);
+        let d = ch.take(1).unwrap();
+        assert!(!ch.nack(d));
+        assert!(ch.take(2).is_none());
+        assert_eq!(ch.stats().best_effort_drops, 1);
+    }
+}

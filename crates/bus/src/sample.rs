@@ -1,0 +1,219 @@
+//! Typed samples: what the constellation pipeline publishes.
+//!
+//! Each [`Payload`] variant maps onto one hop or bookkeeping action of
+//! the capture → filter → ISL → compute → downlink pipeline. The
+//! variant determines the topic ([`Payload::topic`]), so a publisher
+//! never routes by hand and a recorded stream can be demultiplexed
+//! without a side table.
+
+use crate::topic::{TopicId, TOPIC_CAPTURES, TOPIC_FAULTS, TOPIC_INSIGHTS, TOPIC_TELEMETRY};
+
+/// Discrete simulation time, in ticks (matches `sudc_sim::Tick`).
+pub type Tick = u64;
+
+/// Category of a fault-topic event. One published fault event may move
+/// more than one run counter (e.g. a storm kill is both a failure and a
+/// storm statistic); the mapping lives with the subscriber.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Capture shed at batch-queue admission (bounded history).
+    BatchOverflow,
+    /// Insight shed at downlink-queue admission (bounded history).
+    DownlinkOverflow,
+    /// Capture shed because its freshness deadline expired in queue.
+    DeadlineShed,
+    /// Result corrupted by a radiation upset during compute.
+    Corrupted,
+    /// Corrupted capture re-queued under the bounded retry budget.
+    Retry,
+    /// Corrupted capture abandoned: retry budget exhausted.
+    RetryExhausted,
+    /// Compute node died (wear-out or infant mortality).
+    NodeFailure,
+    /// Cold spare promoted to replace a dead node.
+    Promotion,
+    /// Cold spare found dead at promotion time (dormant aging).
+    DormantDeath,
+    /// Node killed by a correlated radiation storm.
+    StormKill,
+    /// Inter-satellite link dropped mid-transfer.
+    IslFlap,
+    /// Ground contact window lost to a blackout.
+    Blackout,
+}
+
+impl FaultKind {
+    /// All kinds, in wire-tag order (see `record.rs`).
+    pub const ALL: [FaultKind; 12] = [
+        FaultKind::BatchOverflow,
+        FaultKind::DownlinkOverflow,
+        FaultKind::DeadlineShed,
+        FaultKind::Corrupted,
+        FaultKind::Retry,
+        FaultKind::RetryExhausted,
+        FaultKind::NodeFailure,
+        FaultKind::Promotion,
+        FaultKind::DormantDeath,
+        FaultKind::StormKill,
+        FaultKind::IslFlap,
+        FaultKind::Blackout,
+    ];
+
+    /// Stable wire tag for the binary log.
+    #[must_use]
+    pub fn wire_tag(self) -> u8 {
+        Self::ALL
+            .iter()
+            .position(|k| *k == self)
+            .expect("every kind is in ALL") as u8
+    }
+
+    /// Inverse of [`FaultKind::wire_tag`].
+    #[must_use]
+    pub fn from_wire_tag(tag: u8) -> Option<Self> {
+        Self::ALL.get(usize::from(tag)).copied()
+    }
+}
+
+/// One typed message on the bus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Payload {
+    /// An imaging opportunity fired on `sat`; `filtered` marks captures
+    /// discarded by the onboard edge filter before ISL transfer.
+    Capture {
+        /// Publishing satellite index.
+        sat: u32,
+        /// Whether the onboard filter discarded this capture.
+        filtered: bool,
+    },
+    /// A capture finished batch compute and became an insight.
+    Processed {
+        /// Tick the source capture fired (for freshness accounting).
+        capture: Tick,
+    },
+    /// An insight reached the ground through a contact window.
+    Delivered {
+        /// Tick the source capture fired.
+        capture: Tick,
+    },
+    /// Tick settlement: the scheduler advanced to this sample's tick
+    /// and is about to dispatch `events` events.
+    Settle {
+        /// Events dispatched at this tick.
+        events: u64,
+        /// Compute nodes busy entering the tick.
+        busy: u32,
+        /// Batch-queue depth entering the tick.
+        batch_queue: u64,
+        /// Downlink-queue depth entering the tick.
+        downlink_queue: u64,
+        /// Whether powered-alive nodes meet the required capability.
+        full: bool,
+    },
+    /// A bounded queue changed length (post-admission depth).
+    QueueDepth {
+        /// `false` = batch queue, `true` = downlink queue.
+        downlink: bool,
+        /// Depth after the admission that triggered this sample.
+        len: u64,
+    },
+    /// Periodic backlog probe across the three pipeline stages.
+    Backlog {
+        /// Images waiting on or in ISL transfer.
+        isl: u64,
+        /// Images waiting for batch compute.
+        batch: u64,
+        /// Insights waiting on or in downlink.
+        downlink: u64,
+        /// Age of the oldest queued capture, if any.
+        oldest_age: Option<Tick>,
+    },
+    /// A compute batch was dispatched to a node.
+    BatchDispatched {
+        /// Images in the batch.
+        size: u64,
+        /// Whether the batch went out stale (timeout) rather than full.
+        timeout: bool,
+    },
+    /// End-of-run settlement: final queue state and scheduler peaks.
+    Finish {
+        /// Compute nodes busy at end of run.
+        busy: u32,
+        /// Final batch-queue depth.
+        batch_queue: u64,
+        /// Final downlink-queue depth.
+        downlink_queue: u64,
+        /// Whether capability was full at end of run.
+        full: bool,
+        /// Peak event-queue length over the whole run.
+        peak_event_queue: u64,
+    },
+    /// A fault-topic event (`count` identical events coalesced).
+    Fault {
+        /// What happened.
+        kind: FaultKind,
+        /// How many times it happened at this tick (coalesced).
+        count: u64,
+    },
+}
+
+impl Payload {
+    /// The standard topic this payload belongs to.
+    #[must_use]
+    pub fn topic(&self) -> TopicId {
+        match self {
+            Payload::Capture { .. } => TOPIC_CAPTURES,
+            Payload::Processed { .. } | Payload::Delivered { .. } => TOPIC_INSIGHTS,
+            Payload::Settle { .. }
+            | Payload::QueueDepth { .. }
+            | Payload::Backlog { .. }
+            | Payload::BatchDispatched { .. }
+            | Payload::Finish { .. } => TOPIC_TELEMETRY,
+            Payload::Fault { .. } => TOPIC_FAULTS,
+        }
+    }
+}
+
+/// A timestamped payload: what [`crate::Bus::publish`] carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Sample {
+    /// Publication tick (nondecreasing across a run).
+    pub tick: Tick,
+    /// The typed message.
+    pub payload: Payload,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_wire_tags_roundtrip() {
+        for kind in FaultKind::ALL {
+            assert_eq!(FaultKind::from_wire_tag(kind.wire_tag()), Some(kind));
+        }
+        assert_eq!(FaultKind::from_wire_tag(FaultKind::ALL.len() as u8), None);
+    }
+
+    #[test]
+    fn payloads_route_to_their_topics() {
+        assert_eq!(
+            Payload::Capture {
+                sat: 0,
+                filtered: false
+            }
+            .topic(),
+            TOPIC_CAPTURES
+        );
+        assert_eq!(Payload::Processed { capture: 0 }.topic(), TOPIC_INSIGHTS);
+        assert_eq!(Payload::Delivered { capture: 0 }.topic(), TOPIC_INSIGHTS);
+        assert_eq!(
+            Payload::Fault {
+                kind: FaultKind::IslFlap,
+                count: 1
+            }
+            .topic(),
+            TOPIC_FAULTS
+        );
+    }
+}

@@ -9,6 +9,7 @@
 //! powered node over the run, so any availability gap between them is the
 //! cost of *correlation*, not of a higher failure rate.
 
+use sudc_bus::QosContract;
 use sudc_sim::{
     FaultConfig, GroundBlackouts, InfantMortality, IslFlaps, RecoveryPolicy, SimConfig, StormModel,
     STANDARD_FRESHNESS_DEADLINE_S,
@@ -237,6 +238,14 @@ impl Campaign {
 
     /// Everything at once, with bounded queues and a freshness deadline —
     /// the stress test for the load-shedding policies.
+    ///
+    /// The queue bounds and the deadline are not chosen here: they are
+    /// the data plane's standard QoS contracts lowered onto the recovery
+    /// policy. The capture topic's bounded history becomes the batch
+    /// queue's admission limit, the insight topic's store-and-forward
+    /// depth becomes the downlink queue's, and both topics' `DEADLINE`
+    /// policy is the shared staleness definition the sim's shedding and
+    /// the request router already reason about.
     #[must_use]
     pub fn combined(run: Seconds) -> Self {
         let mut c = Self::solar_storm(run);
@@ -245,11 +254,13 @@ impl Campaign {
         c.infant = Self::infant_mortality(run).infant;
         c.isl = Self::isl_flaps(run).isl;
         c.ground = Self::ground_blackouts().ground;
-        c.policy.batch_queue_limit = 512;
-        c.policy.downlink_queue_limit = 256;
-        // The shared staleness definition: sim shedding, this campaign,
-        // and the request router all reason about the same deadline.
-        c.policy.deadline = Seconds::new(STANDARD_FRESHNESS_DEADLINE_S);
+        let captures = QosContract::standard_captures();
+        let insights = QosContract::standard_insights();
+        c.policy.max_retries = captures.reliability.max_retries();
+        c.policy.batch_queue_limit = captures.history_depth;
+        c.policy.downlink_queue_limit = insights.history_depth;
+        c.policy.deadline = Seconds::new(captures.deadline_s);
+        debug_assert_eq!(captures.deadline_s, STANDARD_FRESHNESS_DEADLINE_S);
         c
     }
 

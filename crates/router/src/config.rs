@@ -126,6 +126,13 @@ pub struct RouterConfig {
     /// can hold — one reference frame. Multi-frame strips cannot run
     /// onboard.
     pub onboard_max_gbit: f64,
+    /// When set, a request's *first* deferral re-enters the next block's
+    /// admission queue ahead of that block's own arrivals and competes
+    /// for its fresh capacity budget (one re-entry per request; a second
+    /// deferral is final). Routing then runs blocks sequentially instead
+    /// of sharding them across workers, since block `b+1`'s input depends
+    /// on block `b`'s verdicts.
+    pub readmit_deferred: bool,
 }
 
 impl RouterConfig {
@@ -315,6 +322,7 @@ impl RouterConfig {
             ground_capacity_gbit_per_s: capacity_rate,
             sudc_capacity_gbit_per_s: sudc_capacity,
             onboard_max_gbit: image_gbit,
+            readmit_deferred: false,
         })
     }
 

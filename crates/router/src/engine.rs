@@ -11,11 +11,13 @@
 //! handful of multiply-adds against the memoized
 //! [`TierTerms`](crate::config::TierTerms).
 
+use std::collections::HashSet;
+
 use sudc_errors::SudcError;
 use sudc_par::par_map;
 
 use crate::config::{RouterConfig, APPS};
-use crate::request::{Priority, StreamConfig};
+use crate::request::{Priority, Request, StreamConfig};
 use crate::tier::Tier;
 
 /// Outcome of one request.
@@ -264,13 +266,46 @@ impl Router {
         if let Err(e) = stream.try_validate() {
             panic!("{e}");
         }
+        if self.cfg.readmit_deferred {
+            return self.route_stream_readmit(stream);
+        }
         let blocks: Vec<u64> = (0..stream.blocks()).collect();
-        let per_block = par_map(&blocks, |_, &b| self.route_block(stream, b));
+        let per_block = par_map(&blocks, |_, &b| self.route_block(stream, b, &[], None));
         let mut decisions = Vec::with_capacity(stream.requests as usize);
         let mut stats = RoutingStats::zero();
         for (block_decisions, block_stats) in per_block {
             decisions.extend_from_slice(&block_decisions);
             stats.merge(&block_stats);
+        }
+        RoutingOutcome { decisions, stats }
+    }
+
+    /// Sequential routing with deferral re-entry: each block's first-time
+    /// deferrals carry into the next block's admission queue, ahead of
+    /// that block's own arrivals (they are the oldest work), and compete
+    /// for the next block's capacity budget. A carried request that is
+    /// deferred again takes its `Deferred` verdict for good; whatever is
+    /// still carried when the stream ends is flushed as `Deferred`.
+    fn route_stream_readmit(&self, stream: &StreamConfig) -> RoutingOutcome {
+        let mut decisions = Vec::with_capacity(stream.requests as usize);
+        let mut stats = RoutingStats::zero();
+        let mut carry: Vec<(Request, f64)> = Vec::new();
+        for b in 0..stream.blocks() {
+            let mut next = Vec::new();
+            let (block_decisions, block_stats) =
+                self.route_block(stream, b, &carry, Some(&mut next));
+            decisions.extend_from_slice(&block_decisions);
+            stats.merge(&block_stats);
+            carry = next;
+        }
+        for (r, reachable_latency) in carry {
+            stats.deferred += 1;
+            decisions.push(Decision {
+                id: r.id,
+                verdict: Verdict::Deferred,
+                latency_s: reachable_latency,
+                cost_usd: 0.0,
+            });
         }
         RoutingOutcome { decisions, stats }
     }
@@ -291,15 +326,39 @@ impl Router {
         }
     }
 
-    /// Generates, admits, and scores one block.
-    fn route_block(&self, stream: &StreamConfig, b: u64) -> (Vec<Decision>, RoutingStats) {
+    /// Generates, admits, and scores one block. `carry` holds previous
+    /// blocks' deferrals re-entering here (with the reachable latency
+    /// recorded at deferral); when `next_carry` is set, this block's
+    /// first-time deferrals are pushed there instead of deciding.
+    fn route_block(
+        &self,
+        stream: &StreamConfig,
+        b: u64,
+        carry: &[(Request, f64)],
+        mut next_carry: Option<&mut Vec<(Request, f64)>>,
+    ) -> (Vec<Decision>, RoutingStats) {
         let requests = stream.generate_block(b);
         let mut stats = RoutingStats::zero();
         stats.requests = requests.len() as u64;
-        let mut decisions = Vec::with_capacity(requests.len());
+        let mut decisions = Vec::with_capacity(requests.len() + carry.len());
+        let carried_ids: HashSet<u64> = carry.iter().map(|(r, _)| r.id).collect();
 
         // Admission: bounded queue, shed victims decided immediately.
+        // Carried deferrals enter first — they are the oldest work, and
+        // their origin block already counted them in `requests` and
+        // `priority_total`, so only their final verdict lands here.
         let mut queue = crate::request::AdmissionQueue::new(stream.queue_capacity);
+        for (r, _) in carry {
+            if let Some(victim) = queue.push(*r) {
+                stats.shed += 1;
+                decisions.push(Decision {
+                    id: victim.id,
+                    verdict: Verdict::Shed,
+                    latency_s: 0.0,
+                    cost_usd: 0.0,
+                });
+            }
+        }
         for r in &requests {
             stats.priority_total[r.priority.index()] += 1;
             if let Some(victim) = queue.push(*r) {
@@ -313,9 +372,15 @@ impl Router {
             }
         }
 
-        // Drain to SoA columns in scheduling (priority) order.
+        // Drain to SoA columns in scheduling (priority) order. The full
+        // requests are kept alongside only when deferrals may re-enter.
+        let keep_requests = next_carry.is_some();
+        let mut drained: Vec<Request> = Vec::new();
         let mut cols = Columns::with_capacity(queue.len());
         while let Some(r) = queue.pop() {
+            if keep_requests {
+                drained.push(r);
+            }
             cols.ids.push(r.id);
             cols.app.push(r.app);
             cols.priority.push(r.priority.index() as u8);
@@ -335,6 +400,7 @@ impl Router {
 
         // Batch scoring: four memoized tier evaluations per request.
         let n = cols.ids.len();
+        #[allow(clippy::needless_range_loop)] // i spans the SoA columns, not just `drained`
         for i in 0..n {
             let terms = &self.cfg.terms[cols.app[i] as usize];
             let wait = self.cfg.lat_wait_s[cols.lat_bin[i] as usize];
@@ -397,6 +463,15 @@ impl Router {
                     }
                 }
                 None if reachable_latency <= deadline + self.cfg.defer_horizon_s => {
+                    // First deferral with re-entry armed: no verdict yet —
+                    // the request rides into the next block's window. A
+                    // carried request deferring again is decided for good.
+                    if !carried_ids.contains(&cols.ids[i]) {
+                        if let Some(out) = next_carry.as_mut() {
+                            out.push((drained[i], reachable_latency));
+                            continue;
+                        }
+                    }
                     stats.deferred += 1;
                     Decision {
                         id: cols.ids[i],
@@ -512,6 +587,68 @@ mod tests {
             "small payloads overflow onboard"
         );
         assert_eq!(s.placed + s.deferred + s.rejected + s.shed, s.requests);
+    }
+
+    #[test]
+    fn deferral_reentry_improves_the_accepted_mix_at_equal_capacity() {
+        // Same pricing tables, same per-block capacity budgets, same
+        // stream — the only change is that a first deferral re-enters
+        // the next block's window instead of bouncing straight back to
+        // the requester.
+        let baseline = Router::reference();
+        let mut cfg = RouterConfig::reference();
+        cfg.readmit_deferred = true;
+        let readmitting = Router::new(cfg);
+
+        let mut stream = small_stream();
+        // Overloaded enough that the SµDC budget dries up mid-block and
+        // standard-deadline requests land in the defer window (at extreme
+        // overload everything is rejected outright instead — the defer
+        // band needs a partially open ground segment).
+        stream.arrival_per_s = 1.4 * 30.0;
+        let before = baseline.route_stream(&stream);
+        let after = readmitting.route_stream(&stream);
+
+        assert!(before.stats.deferred > 0, "overload must defer");
+        assert_eq!(after.stats.requests, before.stats.requests);
+        assert!(
+            (after.stats.ground_budget_gbit - before.stats.ground_budget_gbit).abs() < 1e-6,
+            "equal capacity"
+        );
+        assert!(
+            after.stats.placed > before.stats.placed,
+            "re-entry must lift acceptance: {} -> {}",
+            before.stats.placed,
+            after.stats.placed
+        );
+
+        // Accounting stays exact: every generated request gets exactly
+        // one final verdict, and the counters agree with the decisions.
+        let s = &after.stats;
+        assert_eq!(s.placed + s.deferred + s.rejected + s.shed, s.requests);
+        let mut ids: Vec<u64> = after.decisions.iter().map(|d| d.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), stream.requests as usize);
+    }
+
+    #[test]
+    fn reentry_is_a_noop_when_nothing_defers() {
+        let baseline = Router::reference();
+        let mut cfg = RouterConfig::reference();
+        cfg.readmit_deferred = true;
+        let readmitting = Router::new(cfg);
+        let stream = small_stream();
+        let before = baseline.route_stream(&stream);
+        if before.stats.deferred == 0 {
+            // The unstressed stream defers nothing, so the sequential
+            // path must reproduce the sharded path decision for decision.
+            assert_eq!(readmitting.route_stream(&stream), before);
+        } else {
+            // Stream drifted under config changes; the mix may only improve.
+            let after = readmitting.route_stream(&stream);
+            assert!(after.stats.placed >= before.stats.placed);
+        }
     }
 
     #[test]

@@ -10,10 +10,11 @@
 //! `sudc-chaos` campaign), and reports SLO attainment against the
 //! workspace-wide freshness deadline.
 
+use sudc_bus::BusLog;
 use sudc_chaos::Campaign;
 use sudc_errors::SudcError;
 use sudc_par::json::Json;
-use sudc_sim::{try_replicate, SimConfig, SimSummary, STANDARD_FRESHNESS_DEADLINE_S};
+use sudc_sim::{try_replicate, RunTrace, SimConfig, SimSummary, STANDARD_FRESHNESS_DEADLINE_S};
 use sudc_units::Seconds;
 
 use crate::engine::RoutingOutcome;
@@ -95,6 +96,33 @@ impl RoutedLoad {
             delivered_fraction,
             mean_delivery_p99_s: summary.mean_delivery_p99,
         })
+    }
+
+    /// Runs one seeded replication of the induced scenario with the
+    /// `sudc-bus` data plane recording, returning the measured trace and
+    /// the recorded topic stream. Feeding the log back through
+    /// [`sudc_sim::replay`] (with [`RoutedLoad::sim_config`] for the
+    /// same duration and campaign) reproduces the trace byte for byte —
+    /// the routed load's operational story can be shipped and re-audited
+    /// without re-running the kernel.
+    ///
+    /// # Errors
+    ///
+    /// Returns the sim configuration's validation diagnostics if the
+    /// induced scenario is invalid.
+    pub fn try_record(
+        &self,
+        duration: Seconds,
+        seed: u64,
+        campaign: Option<&Campaign>,
+    ) -> Result<(RunTrace, BusLog), SudcError> {
+        let base = self.sim_config(duration);
+        let cfg = match campaign {
+            Some(c) => c.apply(&base),
+            None => base,
+        };
+        cfg.try_validate()?;
+        Ok(sudc_sim::run_recorded(&cfg, seed))
     }
 
     /// Panicking [`RoutedLoad::try_replay`].
@@ -193,6 +221,19 @@ mod tests {
             .expect("storm replay");
         assert_eq!(stormy.campaign, storm.name);
         assert!(stormy.mean_availability <= nominal.mean_availability + 1e-9);
+    }
+
+    #[test]
+    fn recorded_topic_stream_reaudits_the_routed_load() {
+        let load = routed_load();
+        let duration = Seconds::new(1800.0);
+        let storm = Campaign::solar_storm(duration);
+        let (trace, log) = load
+            .try_record(duration, sudc_sim::DEFAULT_SEED, Some(&storm))
+            .expect("recorded run");
+        assert!(log.records() > 0);
+        let cfg = storm.apply(&load.sim_config(duration));
+        assert_eq!(sudc_sim::replay(&cfg, &log).expect("replay"), trace);
     }
 
     #[test]

@@ -132,15 +132,17 @@ pub struct GroundBlackouts {
 /// physical seconds: work older than this is stale and should be shed
 /// rather than processed.
 ///
-/// This is the **single definition of "stale"** shared by every layer
-/// that reasons about freshness — the sim kernel's deadline shedding
+/// The definition now lives with the data plane's QoS layer
+/// (`sudc_bus`), where it backs the `DEADLINE` policy of the standard
+/// mission topics; it is re-exported here so every layer that reasons
+/// about freshness — the sim kernel's deadline shedding
 /// ([`RecoveryPolicy::deadline_expired`]), the chaos `combined`
 /// campaign's bounded-queue policy, and the request router's
-/// orbital-tier SLO — so the three cannot drift apart. 900 s is the
-/// paper's operations working point: roughly one LEO pass beyond the
-/// batch-accumulation window, after which an EO insight has lost its
-/// tasking value.
-pub const STANDARD_FRESHNESS_DEADLINE_S: f64 = 900.0;
+/// orbital-tier SLO — keeps sharing the **single definition of
+/// "stale"**. 900 s is the paper's operations working point: roughly
+/// one LEO pass beyond the batch-accumulation window, after which an EO
+/// insight has lost its tasking value.
+pub use sudc_bus::STANDARD_FRESHNESS_DEADLINE_S;
 
 /// Recovery policies: what the pipeline does when fault injection bites.
 #[derive(Debug, Clone, Copy, PartialEq)]

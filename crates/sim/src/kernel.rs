@@ -32,12 +32,14 @@
 
 use std::collections::VecDeque;
 
+use sudc_bus::{BusLog, FaultKind, Payload};
 use sudc_par::rng::Rng64;
 use sudc_reliability::weibull::WeibullLifetime;
 
 use crate::config::SimConfig;
 use crate::event::{Event, EventQueue, Tick};
 use crate::metrics::RunTrace;
+use crate::plane::{BusRun, SimBus};
 
 /// Stream index base for per-satellite RNG streams (stream `sat`).
 pub(crate) const SAT_STREAM_BASE: u64 = 0;
@@ -122,13 +124,42 @@ impl BatchSlab {
 
 /// Runs one simulation to completion and returns its trace.
 ///
+/// Every pipeline hop is published on the passthrough data-plane bus
+/// (see [`crate::plane`]); the trace is the attached
+/// [`crate::plane::TraceBuilder`]'s fold of that stream.
+///
 /// # Panics
 ///
 /// Panics if `cfg` fails [`SimConfig::validate`].
 #[must_use]
 pub fn run(cfg: &SimConfig, seed: u64) -> RunTrace {
+    run_on_bus(cfg, seed, false).trace
+}
+
+/// Runs one simulation with the data plane in the requested mode:
+/// `record = false` is zero-overhead passthrough, `record = true`
+/// additionally captures the full topic stream as a [`BusLog`].
+///
+/// # Panics
+///
+/// Panics if `cfg` fails [`SimConfig::validate`].
+#[must_use]
+pub fn run_on_bus(cfg: &SimConfig, seed: u64, record: bool) -> BusRun {
     cfg.validate();
-    Kernel::new(cfg, seed).run()
+    Kernel::new(cfg, seed, record).run()
+}
+
+/// Runs one simulation while recording its topic streams, returning the
+/// trace and the binary log that [`crate::plane::replay`] re-drives to
+/// an identical trace.
+///
+/// # Panics
+///
+/// Panics if `cfg` fails [`SimConfig::validate`].
+#[must_use]
+pub fn run_recorded(cfg: &SimConfig, seed: u64) -> (RunTrace, BusLog) {
+    let run = run_on_bus(cfg, seed, true);
+    (run.trace, run.log.expect("recording mode keeps a log"))
 }
 
 struct Kernel<'a> {
@@ -196,11 +227,13 @@ struct Kernel<'a> {
     dl_group: Vec<Tick>,
     downlink_queue: VecDeque<Tick>,
 
-    trace: RunTrace,
+    /// Data plane: every state change worth measuring is published here
+    /// and folded into the `RunTrace` by the attached `TraceBuilder`.
+    plane: SimBus,
 }
 
 impl<'a> Kernel<'a> {
-    fn new(cfg: &'a SimConfig, seed: u64) -> Self {
+    fn new(cfg: &'a SimConfig, seed: u64, record: bool) -> Self {
         let sat_rng = (0..cfg.satellites)
             .map(|s| Rng64::stream(seed, SAT_STREAM_BASE + u64::from(s)))
             .collect();
@@ -253,7 +286,7 @@ impl<'a> Kernel<'a> {
             dl_busy: false,
             dl_group: Vec::new(),
             downlink_queue: VecDeque::new(),
-            trace: RunTrace::new(cfg),
+            plane: SimBus::new(cfg, record),
         };
         kernel.seed_initial_events(seed);
         kernel
@@ -330,7 +363,7 @@ impl<'a> Kernel<'a> {
         }
     }
 
-    fn run(mut self) -> RunTrace {
+    fn run(mut self) -> BusRun {
         // Tick-batched event loop: every event of the current tick is
         // drained in FIFO order into one reused buffer, which lets the
         // loop warm an upcoming capture's RNG stream eight events ahead —
@@ -349,15 +382,17 @@ impl<'a> Kernel<'a> {
             // integrals are settled once per tick with the pre-batch
             // state; per-event calls within the tick would see dt == 0
             // and integrate nothing (`Metrics::advance_to` early-outs).
-            self.trace.advance_to(
+            self.plane.publish(
                 tick,
-                self.busy_nodes,
-                self.batch_queue.len(),
-                self.downlink_queue.len(),
-                self.powered_alive >= self.cfg.required,
+                Payload::Settle {
+                    events: batch.len() as u64,
+                    busy: self.busy_nodes,
+                    batch_queue: self.batch_queue.len() as u64,
+                    downlink_queue: self.downlink_queue.len() as u64,
+                    full: self.powered_alive >= self.cfg.required,
+                },
             );
             self.now = tick;
-            self.trace.events += batch.len() as u64;
             for k in 0..batch.len() {
                 if let Some(&(_, Event::Capture { sat })) = batch.get(k + 8) {
                     self.sat_rng[sat as usize].warm();
@@ -380,15 +415,17 @@ impl<'a> Kernel<'a> {
                 }
             }
         }
-        self.trace.peak_event_queue = self.queue.peak_len();
-        self.trace.finish(
+        self.plane.publish(
             self.cfg.duration_ticks,
-            self.busy_nodes,
-            self.batch_queue.len(),
-            self.downlink_queue.len(),
-            self.powered_alive >= self.cfg.required,
+            Payload::Finish {
+                busy: self.busy_nodes,
+                batch_queue: self.batch_queue.len() as u64,
+                downlink_queue: self.downlink_queue.len() as u64,
+                full: self.powered_alive >= self.cfg.required,
+                peak_event_queue: self.queue.peak_len() as u64,
+            },
         );
-        self.trace
+        self.plane.into_run()
     }
 
     /// Ticks until satellite `sat`'s next capture opportunity (Poisson
@@ -418,10 +455,10 @@ impl<'a> Kernel<'a> {
         let s = sat as usize;
         let phase = self.sat_phase[s];
         if (phase as f64) < self.duty_window_ticks {
-            self.trace.captured += 1;
-            if self.sat_rng[s].next_f64() < self.cfg.filtering {
-                self.trace.filtered_out += 1;
-            } else {
+            let filtered = self.sat_rng[s].next_f64() < self.cfg.filtering;
+            self.plane
+                .publish(self.now, Payload::Capture { sat, filtered });
+            if !filtered {
                 self.offer_to_isl(self.now);
             }
         }
@@ -449,7 +486,6 @@ impl<'a> Kernel<'a> {
     }
 
     fn offer_to_isl(&mut self, capture: Tick) {
-        self.trace.arrived += 1;
         if self.isl_busy || self.isl_links_up == 0 {
             self.isl_queue.push_back(capture);
         } else {
@@ -494,12 +530,24 @@ impl<'a> Kernel<'a> {
                         if img.attempt > 0 {
                             self.retried_in_queue -= 1;
                         }
-                        self.trace.shed_batch_overflow += 1;
+                        self.plane.publish(
+                            self.now,
+                            Payload::Fault {
+                                kind: FaultKind::BatchOverflow,
+                                count: 1,
+                            },
+                        );
                     }
                 }
             }
         }
-        self.trace.note_batch_queue_len(self.batch_queue.len());
+        self.plane.publish(
+            self.now,
+            Payload::QueueDepth {
+                downlink: false,
+                len: self.batch_queue.len() as u64,
+            },
+        );
         self.queue
             .push(self.now + self.cfg.batch_timeout_ticks, Event::BatchTimeout);
     }
@@ -531,15 +579,17 @@ impl<'a> Kernel<'a> {
             return;
         }
         let now = self.now;
-        if self.retried_in_queue == 0 {
+        let shed = if self.retried_in_queue == 0 {
+            let mut shed = 0u64;
             while self
                 .batch_queue
                 .front()
                 .is_some_and(|img| policy.deadline_expired(img.capture, now))
             {
                 self.batch_queue.pop_front();
-                self.trace.shed_deadline += 1;
+                shed += 1;
             }
+            shed
         } else {
             let before = self.batch_queue.len();
             let mut retried_shed = 0usize;
@@ -551,7 +601,16 @@ impl<'a> Kernel<'a> {
                 keep
             });
             self.retried_in_queue -= retried_shed;
-            self.trace.shed_deadline += (before - self.batch_queue.len()) as u64;
+            (before - self.batch_queue.len()) as u64
+        };
+        if shed > 0 {
+            self.plane.publish(
+                self.now,
+                Payload::Fault {
+                    kind: FaultKind::DeadlineShed,
+                    count: shed,
+                },
+            );
         }
     }
 
@@ -570,10 +629,13 @@ impl<'a> Kernel<'a> {
                 return;
             }
             let size = self.batch_queue.len().min(self.cfg.batch_target as usize);
-            if !full {
-                self.trace.timeout_batches += 1;
-            }
-            self.trace.batches += 1;
+            self.plane.publish(
+                self.now,
+                Payload::BatchDispatched {
+                    size: size as u64,
+                    timeout: !full,
+                },
+            );
             let slot = self.slab.acquire();
             let base = slot as usize * self.slab.stride;
             for i in 0..size {
@@ -606,10 +668,22 @@ impl<'a> Kernel<'a> {
     /// reprocessing attempt, or abandons the image once the budget is
     /// spent.
     fn handle_corruption(&mut self, capture: Tick, attempt: u32) {
-        self.trace.corrupted += 1;
+        self.plane.publish(
+            self.now,
+            Payload::Fault {
+                kind: FaultKind::Corrupted,
+                count: 1,
+            },
+        );
         let Some(f) = self.cfg.faults else { return };
         if attempt >= f.policy.max_retries {
-            self.trace.retry_exhausted += 1;
+            self.plane.publish(
+                self.now,
+                Payload::Fault {
+                    kind: FaultKind::RetryExhausted,
+                    count: 1,
+                },
+            );
             return;
         }
         let next = attempt + 1;
@@ -617,7 +691,13 @@ impl<'a> Kernel<'a> {
         if f.policy.backoff_jitter_ticks > 0 {
             delay += self.fault_rng.next_u64() % (f.policy.backoff_jitter_ticks + 1);
         }
-        self.trace.retries += 1;
+        self.plane.publish(
+            self.now,
+            Payload::Fault {
+                kind: FaultKind::Retry,
+                count: 1,
+            },
+        );
         self.queue.push(
             self.now + delay,
             Event::Retry {
@@ -633,9 +713,19 @@ impl<'a> Kernel<'a> {
         if limit == 0 {
             return;
         }
+        let mut shed = 0u64;
         while self.downlink_queue.len() > limit {
             self.downlink_queue.pop_front();
-            self.trace.shed_downlink_overflow += 1;
+            shed += 1;
+        }
+        if shed > 0 {
+            self.plane.publish(
+                self.now,
+                Payload::Fault {
+                    kind: FaultKind::DownlinkOverflow,
+                    count: shed,
+                },
+            );
         }
     }
 
@@ -653,13 +743,17 @@ impl<'a> Kernel<'a> {
                 self.handle_corruption(capture, attempt);
                 continue;
             }
-            self.trace.processed += 1;
-            self.trace.record_processing_latency(self.now - capture);
+            self.plane.publish(self.now, Payload::Processed { capture });
             self.downlink_queue.push_back(capture);
         }
         self.shed_downlink_overflow();
-        self.trace
-            .note_downlink_queue_len(self.downlink_queue.len());
+        self.plane.publish(
+            self.now,
+            Payload::QueueDepth {
+                downlink: true,
+                len: self.downlink_queue.len() as u64,
+            },
+        );
         self.try_downlink();
         self.try_dispatch();
     }
@@ -680,7 +774,13 @@ impl<'a> Kernel<'a> {
         if let Some(g) = self.cfg.faults.and_then(|f| f.ground) {
             self.window_blacked_out = self.blackout_rng.next_f64() < g.blackout_probability;
             if self.window_blacked_out {
-                self.trace.blackout_windows += 1;
+                self.plane.publish(
+                    self.now,
+                    Payload::Fault {
+                        kind: FaultKind::Blackout,
+                        count: 1,
+                    },
+                );
             }
         }
         self.try_downlink();
@@ -716,9 +816,9 @@ impl<'a> Kernel<'a> {
     }
 
     fn on_downlink_done(&mut self) {
-        for &capture in &self.dl_group {
-            self.trace.delivered += 1;
-            self.trace.record_delivery_latency(self.now - capture);
+        for i in 0..self.dl_group.len() {
+            let capture = self.dl_group[i];
+            self.plane.publish(self.now, Payload::Delivered { capture });
         }
         self.dl_group.clear();
         self.dl_busy = false;
@@ -733,7 +833,13 @@ impl<'a> Kernel<'a> {
         }
         self.node_state[node as usize] = NodeState::Dead;
         self.powered_alive -= 1;
-        self.trace.failures += 1;
+        self.plane.publish(
+            self.now,
+            Payload::Fault {
+                kind: FaultKind::NodeFailure,
+                count: 1,
+            },
+        );
         self.promote_spare();
         // Lost capacity never cancels in-flight batches (they complete on
         // the failing node's redundant pair); new dispatches see the
@@ -755,12 +861,24 @@ impl<'a> Kernel<'a> {
             let remaining = life - dormant_consumed;
             if remaining <= 0.0 {
                 self.node_state[spare as usize] = NodeState::Dead;
-                self.trace.dormant_deaths += 1;
+                self.plane.publish(
+                    self.now,
+                    Payload::Fault {
+                        kind: FaultKind::DormantDeath,
+                        count: 1,
+                    },
+                );
                 continue;
             }
             self.node_state[spare as usize] = NodeState::PoweredAlive;
             self.powered_alive += 1;
-            self.trace.promotions += 1;
+            self.plane.publish(
+                self.now,
+                Payload::Fault {
+                    kind: FaultKind::Promotion,
+                    count: 1,
+                },
+            );
             if remaining.is_finite() {
                 self.queue.push(
                     self.now + duration_ticks(remaining * self.cfg.mttf_ticks),
@@ -806,8 +924,15 @@ impl<'a> Kernel<'a> {
             if Rng64::stream(self.seed, stream).next_f64() < kill_probability {
                 self.node_state[node as usize] = NodeState::Dead;
                 self.powered_alive -= 1;
-                self.trace.failures += 1;
-                self.trace.storm_node_kills += 1;
+                // One event, two trace counters: the subscriber folds a
+                // StormKill into both `failures` and `storm_node_kills`.
+                self.plane.publish(
+                    self.now,
+                    Payload::Fault {
+                        kind: FaultKind::StormKill,
+                        count: 1,
+                    },
+                );
                 self.promote_spare();
             }
         }
@@ -819,7 +944,13 @@ impl<'a> Kernel<'a> {
             return;
         };
         self.isl_links_up -= 1;
-        self.trace.isl_flaps += 1;
+        self.plane.publish(
+            self.now,
+            Payload::Fault {
+                kind: FaultKind::IslFlap,
+                count: 1,
+            },
+        );
         let dt = duration_ticks(self.isl_rngs[link as usize].next_exp() * isl.mean_down_ticks);
         self.queue.push(self.now + dt, Event::IslLinkUp { link });
     }
@@ -843,11 +974,14 @@ impl<'a> Kernel<'a> {
         let oldest = self
             .oldest_unfinished_capture()
             .map(|capture| self.now - capture);
-        self.trace.record_backlog_sample(
-            self.isl_queue.len() + usize::from(self.isl_busy),
-            self.batch_queue.len(),
-            self.downlink_queue.len() + self.dl_group.len(),
-            oldest,
+        self.plane.publish(
+            self.now,
+            Payload::Backlog {
+                isl: (self.isl_queue.len() + usize::from(self.isl_busy)) as u64,
+                batch: self.batch_queue.len() as u64,
+                downlink: (self.downlink_queue.len() + self.dl_group.len()) as u64,
+                oldest_age: oldest,
+            },
         );
         self.queue
             .push(self.now + self.cfg.sample_interval_ticks, Event::Sample);

@@ -16,7 +16,11 @@
 //! - [`fault`] — [`fault::FaultConfig`]: opt-in correlated fault
 //!   processes (solar storms, cohort infant mortality, ISL flaps, ground
 //!   blackouts) and the recovery policies that absorb them;
-//! - [`kernel`] — [`kernel::run`]: one seeded single-threaded run;
+//! - [`kernel`] — [`kernel::run`]: one seeded single-threaded run, with
+//!   every pipeline hop published on the `sudc-bus` data plane;
+//! - [`plane`] — the bus attachment: [`plane::TraceBuilder`] folds the
+//!   topic stream into a trace, [`plane::replay`] re-drives a recorded
+//!   [`sudc_bus::BusLog`] to a byte-identical trace;
 //! - [`metrics`] — [`metrics::RunTrace`]: counts, latency percentiles,
 //!   exact time-weighted integrals;
 //! - [`replicate`] — [`replicate::SimSummary`]: N seeded replications in
@@ -43,6 +47,7 @@ pub mod event;
 pub mod fault;
 pub mod kernel;
 pub mod metrics;
+pub mod plane;
 pub mod replicate;
 
 pub use config::SimConfig;
@@ -51,8 +56,9 @@ pub use fault::{
     FaultConfig, GroundBlackouts, InfantMortality, IslFlaps, RecoveryPolicy, StormModel,
     STANDARD_FRESHNESS_DEADLINE_S,
 };
-pub use kernel::run;
+pub use kernel::{run, run_on_bus, run_recorded};
 pub use metrics::{try_percentile, BacklogSample, LatencyHist, LatencySummary, RunTrace};
+pub use plane::{replay, BusRun, TraceBuilder};
 pub use replicate::{
     replicate, scale_study, try_replicate, try_scale_study, ScalePoint, SimSummary, DEFAULT_SEED,
 };

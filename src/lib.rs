@@ -69,6 +69,9 @@ pub use sudc_reliability as reliability;
 /// SµDC design pipeline and TCO analysis — the paper's primary contribution.
 pub use sudc_core as core;
 
+/// QoS-contracted pub/sub data plane (topics, recording, replay).
+pub use sudc_bus as bus;
+
 /// Deterministic discrete-event constellation operations simulator.
 pub use sudc_sim as sim;
 

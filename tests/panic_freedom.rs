@@ -12,6 +12,7 @@
 //! pass (see `.github/workflows/ci.yml`).
 
 use proptest::prelude::*;
+use space_udc::bus::{BusConfig, Durability, QosContract};
 use space_udc::chaos::ChaosSummary;
 use space_udc::core::dynamics::DynamicScenario;
 use space_udc::core::tco::TcoReport;
@@ -435,6 +436,54 @@ proptest! {
         let result = cfg.try_validate();
         let valid = h.is_finite() && if positive { h > 0.0 } else { h >= 0.0 };
         prop_assert_eq!(result.is_ok(), valid);
+        if let Err(e) = result {
+            prop_assert!(structured(&e), "{e}");
+        }
+    }
+
+    #[test]
+    fn qos_contract_try_forms_reject_exactly_hostile_deadlines(
+        sel in 0u32..8, tick_sel in 0u32..8, mag in 1.0..9.0f64, depth in 0usize..4,
+    ) {
+        let h = hostile(sel, mag);
+        let mut qos = QosContract::standard_captures();
+        qos.deadline_s = h;
+        let result = qos.try_validate();
+        prop_assert_eq!(result.is_ok(), h.is_finite() && h >= 0.0);
+        if let Err(e) = result {
+            prop_assert!(structured(&e), "{e}");
+        }
+        // Store-and-forward without a bounded store is a contradiction.
+        let mut tl = QosContract::standard_insights();
+        prop_assert_eq!(tl.durability, Durability::TransientLocal);
+        tl.history_depth = depth;
+        prop_assert_eq!(tl.try_validate().is_ok(), depth > 0);
+        // Lowering validates the contract *and* the tick length at once.
+        let tick = hostile(tick_sel, mag);
+        let lowered = qos.try_lower(tick);
+        let valid = h.is_finite() && h >= 0.0 && tick.is_finite() && tick > 0.0;
+        prop_assert_eq!(lowered.is_ok(), valid);
+        if let Err(e) = lowered {
+            prop_assert!(structured(&e), "{e}");
+        }
+    }
+
+    #[test]
+    fn bus_topic_registration_rejects_exactly_hostile_entries(
+        sel in 0u32..8, mag in 1.0..9.0f64,
+    ) {
+        let h = hostile(sel, mag);
+        let mut cfg = BusConfig::standard();
+        // Duplicate and blank names are structured errors, not panics.
+        for bad_name in ["eo/captures", "", "   "] {
+            let err = cfg.try_register(bad_name, QosContract::best_effort()).unwrap_err();
+            prop_assert!(structured(&err), "{err}");
+        }
+        // A hostile contract is caught at registration.
+        let mut qos = QosContract::best_effort();
+        qos.deadline_s = h;
+        let result = cfg.try_register("ops/extra", qos).map(|_| ());
+        prop_assert_eq!(result.is_ok(), h.is_finite() && h >= 0.0);
         if let Err(e) = result {
             prop_assert!(structured(&e), "{e}");
         }
