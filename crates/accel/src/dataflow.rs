@@ -24,13 +24,15 @@ use sudc_units::Joules;
 
 use crate::design::AcceleratorConfig;
 use crate::energy::EnergyTable;
+use crate::mapping::{Engine, LoopOrder, Mapping, Schedule};
 
-/// The spatial/temporal mapping family a layer runs under.
+/// The temporal reuse pattern wired into the PE control.
 ///
-/// Timeloop's advantage over fixed-dataflow models is mapping choice; we
-/// recover a slice of that freedom with two canonical dataflows and let the
-/// mapper pick the cheaper one per layer (dataflow is a software decision,
-/// so every architecture — global or per-layer — gets the choice).
+/// Together with a spatial projection this forms a hardwired
+/// [`Engine`](crate::mapping::Engine); the full mapping space (engine ×
+/// software [`Schedule`](crate::mapping::Schedule)) lives in
+/// [`crate::mapping`]. [`count_accesses_with`] evaluates the canonical
+/// engine of a dataflow — the two points the pre-search model hardwired.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Dataflow {
     /// Eyeriss-style row stationary: kernel rows held in PE register files,
@@ -69,6 +71,11 @@ pub struct AccessCounts {
     pub glb_accesses: f64,
     /// DRAM word transfers.
     pub dram_words: f64,
+    /// The portion of `dram_words` that is multi-pass re-fetch of a
+    /// streaming tensor (as opposed to compulsory first-touch traffic).
+    /// Re-fetch is strided re-streaming with poor row-buffer locality,
+    /// so the energy table may charge it a premium per word.
+    pub dram_refetch_words: f64,
     /// Execution cycles (one MAC per PE per cycle, utilization-limited).
     pub cycles: f64,
     /// Fraction of PEs doing useful work.
@@ -76,7 +83,7 @@ pub struct AccessCounts {
 }
 
 /// Counts the storage-hierarchy actions for `layer` on `config` under the
-/// cheaper of the two dataflows (see [`count_accesses_with`]).
+/// cheaper of the two canonical dataflows (see [`count_accesses_with`]).
 #[must_use]
 pub fn count_accesses(config: AcceleratorConfig, layer: &Layer) -> AccessCounts {
     let rs = count_accesses_with(config, layer, Dataflow::RowStationary);
@@ -89,12 +96,46 @@ pub fn count_accesses(config: AcceleratorConfig, layer: &Layer) -> AccessCounts 
 }
 
 /// Counts the storage-hierarchy actions for `layer` on `config` under a
-/// specific dataflow.
+/// specific dataflow's *canonical* mapping: the filter-row spatial
+/// projection, no output-row tiling, and the cheaper DRAM loop order —
+/// exactly the two points of the mapping space the pre-search model
+/// hardwired (asserted bit-identical in the tests below).
 #[must_use]
 pub fn count_accesses_with(
     config: AcceleratorConfig,
     layer: &Layer,
     dataflow: Dataflow,
+) -> AccessCounts {
+    let engine = Engine::canonical(dataflow);
+    let at_order = |order| {
+        count_accesses_mapped(
+            config,
+            layer,
+            Mapping {
+                engine,
+                schedule: Schedule { order, ow_tile: 1 },
+            },
+        )
+    };
+    let wo = at_order(LoopOrder::WeightsOuter);
+    let io = at_order(LoopOrder::IfmapOuter);
+    // Loop order only moves DRAM traffic, so this reproduces the old
+    // model's min-refetch term.
+    if io.dram_words < wo.dram_words {
+        io
+    } else {
+        wo
+    }
+}
+
+/// Counts the storage-hierarchy actions for `layer` on `config` under an
+/// arbitrary point of the mapping space — the generalization of
+/// [`count_accesses_with`] the per-layer search sweeps.
+#[must_use]
+pub fn count_accesses_mapped(
+    config: AcceleratorConfig,
+    layer: &Layer,
+    mapping: Mapping,
 ) -> AccessCounts {
     let macs = layer.macs() as f64;
     let k = f64::from(layer.kernel).max(1.0);
@@ -102,39 +143,45 @@ pub fn count_accesses_with(
     let out_h = f64::from(layer.output_h()).max(1.0);
     let out_c = f64::from(layer.out_channels).max(1.0);
 
-    // Spatial mapping: filters along x, output rows along y. Dimension
-    // quantization matters: a 28-wide array running a 64-filter layer needs
-    // ceil(64/28) = 3 passes, so the *effective* parallelism is
-    // 64/3 = 21.3 — mismatched array shapes waste cycles (and therefore
-    // leakage), which is exactly what per-layer specialization recovers.
-    let m_par = out_c / (out_c / f64::from(config.pe_x)).ceil();
-    let row_par = out_h / (out_h / f64::from(config.pe_y)).ceil();
+    // Spatial projection: the engine decides how layer parallelism lands
+    // on the grid. Dimension quantization matters: a 28-wide axis running
+    // a 64-filter layer needs ceil(64/28) = 3 passes, so the *effective*
+    // parallelism is 64/3 = 21.3 — mismatched shapes waste cycles (and
+    // therefore leakage), which is what per-layer specialization recovers.
+    let (m_par, row_par) = mapping.engine.spatial.parallelism(config, out_c, out_h);
     let utilization = (m_par * row_par) / f64::from(config.pes());
 
     // RF traffic: two operand reads plus one accumulator update per MAC.
     let rf_accesses = 3.0 * macs;
 
+    // Output-row tiling: processing each output row in `t` segments
+    // shrinks the psum working set by `t` but forfeits cross-segment
+    // array-level reuse — weights re-fetch per segment under RS, ifmap
+    // halo columns re-read under WS.
+    let t_eff = f64::from(mapping.schedule.ow_tile).min(out_w);
+    let tile_w = out_w / t_eff;
+
     // Global-buffer traffic with RF- and array-level reuse, per dataflow.
-    let (glb_ifmap, glb_weight) = match dataflow {
+    let (glb_ifmap, glb_weight) = match mapping.engine.dataflow {
         // RS: ifmaps reused across k kernel rows in the RF and multicast to
-        // m_par filters; weights reused along an output row and across the
-        // row_par output rows mapped on the array.
-        Dataflow::RowStationary => (macs / (m_par * k), macs / (row_par * out_w)),
-        // WS: weights pinned in PEs are fetched once per ifmap pass; ifmap
-        // activations stream from the buffer once per k*k kernel window but
-        // get no kernel-row RF reuse.
+        // m_par filters; weights reused along a tile of an output row and
+        // across the row_par output rows mapped on the array.
+        Dataflow::RowStationary => (macs / (m_par * k), macs / (row_par * tile_w)),
+        // WS: weights pinned in PEs stream from the buffer exactly once —
+        // multi-pass re-fetch happens at the DRAM level, where the loop
+        // order charges it (formerly an always-1.0 pass factor here).
+        // Ifmap activations stream once per kernel window, with k-1
+        // overlap columns re-read at every tile seam.
         Dataflow::WeightStationary => {
             let weights = layer.weights() as f64;
-            (
-                macs / m_par,
-                weights * (macs / (weights * out_w * out_h)).max(1.0),
-            )
+            let halo = 1.0 + (t_eff - 1.0) * (k - 1.0) / out_w;
+            ((macs / m_par) * halo, weights)
         }
     };
     // Partial sums leave the RF once per kernel-row accumulation; if the
-    // psum buffer cannot hold one output row for every mapped filter the
-    // spill factor grows.
-    let psum_working_set = out_w * m_par * PSUM_BYTES;
+    // psum buffer cannot hold one output-row tile for every mapped filter
+    // the spill factor grows.
+    let psum_working_set = tile_w * m_par * PSUM_BYTES;
     let psum_capacity = f64::from(config.psum_kib) * 1024.0;
     let psum_spill = (psum_working_set / psum_capacity).max(1.0);
     let glb_psum = 2.0 * macs / (k * k) * psum_spill;
@@ -143,8 +190,9 @@ pub fn count_accesses_with(
     // NoC transfers mirror buffer-to-array traffic.
     let noc_transfers = glb_ifmap + glb_weight;
 
-    // DRAM: every tensor at least once; the loop order re-fetches the
-    // cheaper tensor when the other does not fit its buffer.
+    // DRAM: every tensor at least once; the outer loop's resident tensor
+    // forces re-fetching of the streaming one once per resident tile
+    // beyond the first.
     let ifmap_bytes = layer.input_activations() as f64 * WORD_BYTES;
     let weight_bytes = layer.weights() as f64 * WORD_BYTES;
     let output_bytes = layer.output_activations() as f64 * WORD_BYTES;
@@ -154,9 +202,13 @@ pub fn count_accesses_with(
     let weight_passes = (weight_bytes / (f64::from(config.weight_kib) * 1024.0))
         .ceil()
         .max(1.0);
-    let refetch = (ifmap_bytes * (weight_passes - 1.0)).min(weight_bytes * (ifmap_passes - 1.0));
+    let refetch = match mapping.schedule.order {
+        LoopOrder::WeightsOuter => ifmap_bytes * (weight_passes - 1.0),
+        LoopOrder::IfmapOuter => weight_bytes * (ifmap_passes - 1.0),
+    };
     let dram_bytes = ifmap_bytes + weight_bytes + output_bytes + refetch;
     let dram_words = dram_bytes / WORD_BYTES;
+    let dram_refetch_words = refetch / WORD_BYTES;
 
     // Cycles: utilization-limited MAC issue.
     let cycles = macs / (m_par * row_par);
@@ -167,6 +219,7 @@ pub fn count_accesses_with(
         noc_transfers,
         glb_accesses,
         dram_words,
+        dram_refetch_words,
         cycles,
         utilization,
     }
@@ -190,15 +243,52 @@ pub fn count_accesses_with(
 pub fn layer_energy(config: AcceleratorConfig, table: &EnergyTable, layer: &Layer) -> Joules {
     let c = count_accesses(config, layer);
     let glb_pj = table.glb_access_pj(f64::from(config.total_buffer_kib()));
+    Joules::new(picojoules_of(config, table, glb_pj, &c) * 1e-12)
+}
+
+/// Energy for one inference of `layer` under an arbitrary mapping.
+#[must_use]
+pub fn layer_energy_mapped(
+    config: AcceleratorConfig,
+    table: &EnergyTable,
+    layer: &Layer,
+    mapping: Mapping,
+) -> Joules {
+    let c = count_accesses_mapped(config, layer, mapping);
+    let glb_pj = table.glb_access_pj(f64::from(config.total_buffer_kib()));
+    Joules::new(picojoules_of(config, table, glb_pj, &c) * 1e-12)
+}
+
+/// Energy of a set of access counts on a design, picojoules — the one
+/// formula every energy path (canonical, mapped, sweep, pruning floor)
+/// shares. `glb_pj` is the config's buffer access energy, hoisted out so
+/// the sweep computes the square root once per config.
+#[must_use]
+pub fn picojoules_of(
+    config: AcceleratorConfig,
+    table: &EnergyTable,
+    glb_pj: f64,
+    c: &AccessCounts,
+) -> f64 {
     // NoC hop energy grows with array extent (wire length).
     let wire_scale = f64::from(config.pe_x.max(config.pe_y)) / 16.0;
-    let total_pj = c.macs * table.mac_pj
+    // Re-fetch words cost a row-buffer-locality premium in both energy
+    // and effective bandwidth.
+    let dram_eff = table.dram_effective_words(c.dram_words, c.dram_refetch_words);
+    // Roofline: a memory-bound layer stalls the array for the full DRAM
+    // transfer, and the whole design leaks for that long — re-fetch from
+    // an undersized buffer costs access energy *and* stall time.
+    let wall_cycles = c.cycles.max(dram_eff / table.dram_words_per_cycle);
+    c.macs * table.mac_pj
         + c.rf_accesses * table.rf_pj
         + c.noc_transfers * table.noc_pj * wire_scale
         + c.glb_accesses * glb_pj
-        + c.dram_words * table.dram_pj
-        + c.cycles * (f64::from(config.pes()) * table.static_pe_pj + table.system_static_pj);
-    Joules::new(total_pj * 1e-12)
+        + dram_eff * table.dram_pj
+        + wall_cycles
+            * table.leakage_pj_per_cycle(
+                f64::from(config.pes()),
+                f64::from(config.total_buffer_kib()),
+            )
 }
 
 /// Energy for one inference of a whole network on `config` (the pipelined
@@ -349,6 +439,166 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// The pre-mapping-search model, verbatim (including the
+    /// algebraically-inert WS pass factor): the oracle proving the two
+    /// canonical dataflows are *exact special cases* of the mapped model.
+    fn legacy_counts(config: AcceleratorConfig, layer: &Layer, dataflow: Dataflow) -> AccessCounts {
+        let macs = layer.macs() as f64;
+        let k = f64::from(layer.kernel).max(1.0);
+        let out_w = f64::from(layer.output_w()).max(1.0);
+        let out_h = f64::from(layer.output_h()).max(1.0);
+        let out_c = f64::from(layer.out_channels).max(1.0);
+        let m_par = out_c / (out_c / f64::from(config.pe_x)).ceil();
+        let row_par = out_h / (out_h / f64::from(config.pe_y)).ceil();
+        let utilization = (m_par * row_par) / f64::from(config.pes());
+        let rf_accesses = 3.0 * macs;
+        let (glb_ifmap, glb_weight) = match dataflow {
+            Dataflow::RowStationary => (macs / (m_par * k), macs / (row_par * out_w)),
+            Dataflow::WeightStationary => {
+                let weights = layer.weights() as f64;
+                (
+                    macs / m_par,
+                    weights * (macs / (weights * out_w * out_h)).max(1.0),
+                )
+            }
+        };
+        let psum_working_set = out_w * m_par * PSUM_BYTES;
+        let psum_capacity = f64::from(config.psum_kib) * 1024.0;
+        let psum_spill = (psum_working_set / psum_capacity).max(1.0);
+        let glb_psum = 2.0 * macs / (k * k) * psum_spill;
+        let glb_accesses = glb_ifmap + glb_weight + glb_psum;
+        let noc_transfers = glb_ifmap + glb_weight;
+        let ifmap_bytes = layer.input_activations() as f64 * WORD_BYTES;
+        let weight_bytes = layer.weights() as f64 * WORD_BYTES;
+        let output_bytes = layer.output_activations() as f64 * WORD_BYTES;
+        let ifmap_passes = (ifmap_bytes / (f64::from(config.ifmap_kib) * 1024.0))
+            .ceil()
+            .max(1.0);
+        let weight_passes = (weight_bytes / (f64::from(config.weight_kib) * 1024.0))
+            .ceil()
+            .max(1.0);
+        let refetch =
+            (ifmap_bytes * (weight_passes - 1.0)).min(weight_bytes * (ifmap_passes - 1.0));
+        let dram_bytes = ifmap_bytes + weight_bytes + output_bytes + refetch;
+        let dram_words = dram_bytes / WORD_BYTES;
+        let cycles = macs / (m_par * row_par);
+        AccessCounts {
+            macs,
+            rf_accesses,
+            noc_transfers,
+            glb_accesses,
+            dram_words,
+            dram_refetch_words: refetch / WORD_BYTES,
+            cycles,
+            utilization,
+        }
+    }
+
+    #[test]
+    fn canonical_dataflows_are_exact_special_cases_of_the_mapped_model() {
+        let configs = [
+            AcceleratorConfig::reference(),
+            AcceleratorConfig {
+                pe_x: 28,
+                pe_y: 4,
+                ifmap_kib: 8,
+                weight_kib: 8,
+                psum_kib: 8,
+            },
+            AcceleratorConfig {
+                pe_x: 4,
+                pe_y: 32,
+                ifmap_kib: 128,
+                weight_kib: 128,
+                psum_kib: 64,
+            },
+        ];
+        for config in configs {
+            for id in NetworkId::all() {
+                for layer in &id.network().layers {
+                    for df in Dataflow::all() {
+                        let legacy = legacy_counts(config, layer, df);
+                        let mapped = count_accesses_with(config, layer, df);
+                        assert_eq!(mapped, legacy, "{df:?} on {layer:?} @ {config}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ws_glb_weight_is_exactly_one_pass_even_when_weights_exceed_the_buffer() {
+        // 512×512×3×3 weights = 4.5 MiB ≫ any weight buffer in the space,
+        // so the old "pass count" factor would be the natural place for
+        // re-fetch inflation — but it was algebraically always 1.0
+        // (macs = weights · out_w · out_h identically). The simplified
+        // model pins GLB weight traffic to exactly one pass and charges
+        // multi-pass re-fetch at the DRAM level via the loop order.
+        let config = AcceleratorConfig {
+            weight_kib: 8,
+            ..AcceleratorConfig::reference()
+        };
+        let layer = Layer::conv(14, 14, 512, 512, 3, 1);
+        assert!(layer.weights() as f64 * 2.0 > f64::from(config.weight_kib) * 1024.0);
+        let ws = count_accesses_with(config, &layer, Dataflow::WeightStationary);
+        let weights = layer.weights() as f64;
+        // Canonical projection: m_par = quantized(out_c = 512, pe_x = 16).
+        let m_par = 512.0 / (512.0_f64 / 16.0).ceil();
+        // noc = glb_ifmap + glb_weight and glb_ifmap = macs / m_par here.
+        let glb_weight = ws.noc_transfers - ws.macs / m_par;
+        assert!(
+            (glb_weight - weights).abs() <= 1e-6 * weights,
+            "glb_weight {glb_weight} vs weights {weights}"
+        );
+        // The legacy expression agrees (its pass factor was inert).
+        let legacy = legacy_counts(config, &layer, Dataflow::WeightStationary);
+        assert_eq!(ws, legacy);
+        // And the DRAM side *does* see the multi-pass cost.
+        let compulsory =
+            (layer.input_activations() + layer.weights() + layer.output_activations()) as f64;
+        assert!(ws.dram_words > compulsory, "re-fetch must appear in DRAM");
+    }
+
+    #[test]
+    fn output_row_tiling_trades_psum_spill_for_refetch() {
+        // A wide layer with many mapped filters overflows a small psum
+        // buffer; tiling the output row shrinks the working set (fewer
+        // GLB psum spills) while inflating RS weight traffic.
+        let config = AcceleratorConfig {
+            psum_kib: 8,
+            ..AcceleratorConfig::reference()
+        };
+        let layer = Layer::conv(112, 112, 64, 64, 3, 1);
+        // Grid projection maps all 64 filters at once: the untiled psum
+        // working set (112 · 64 · 4 B = 28 KiB) overflows the 8 KiB
+        // buffer, while a 4-way tile (7 KiB) fits.
+        let engine = Engine {
+            dataflow: Dataflow::RowStationary,
+            spatial: crate::mapping::SpatialMap::FilterGrid,
+        };
+        let at_tile = |t| {
+            count_accesses_mapped(
+                config,
+                &layer,
+                Mapping {
+                    engine,
+                    schedule: Schedule {
+                        order: LoopOrder::WeightsOuter,
+                        ow_tile: t,
+                    },
+                },
+            )
+        };
+        let untiled = at_tile(1);
+        let tiled = at_tile(4);
+        assert!(tiled.noc_transfers > untiled.noc_transfers, "re-fetch cost");
+        assert!(
+            tiled.glb_accesses - tiled.noc_transfers < untiled.glb_accesses - untiled.noc_transfers,
+            "psum spill benefit"
+        );
+        assert_eq!(tiled.cycles, untiled.cycles, "tiling is traffic-only");
     }
 
     #[test]

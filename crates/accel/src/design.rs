@@ -5,10 +5,12 @@
 //! accumulation buffers. A total of 7168 designs were evaluated." We sweep
 //! 7 × 4 PE-grid shapes and 8 × 8 × 4 buffer sizings: 7·4·8·8·4 = 7 168.
 
+use sudc_errors::{Diagnostics, SudcError};
+
 /// PE-grid x-dimension options.
 pub const PE_X_OPTIONS: [u32; 7] = [4, 8, 12, 16, 20, 24, 28];
 /// PE-grid y-dimension options.
-pub const PE_Y_OPTIONS: [u32; 4] = [4, 8, 16, 32];
+pub const PE_Y_OPTIONS: [u32; 4] = [8, 16, 32, 64];
 /// Input-feature buffer sizes, KiB.
 pub const IFMAP_KIB_OPTIONS: [u32; 8] = [8, 16, 24, 32, 48, 64, 96, 128];
 /// Weight buffer sizes, KiB.
@@ -42,6 +44,25 @@ impl AcceleratorConfig {
     #[must_use]
     pub fn total_buffer_kib(self) -> u32 {
         self.ifmap_kib + self.weight_kib + self.psum_kib
+    }
+
+    /// Validates the configuration for use in the cost model.
+    ///
+    /// Every dimension must be a positive count: a zero PE axis makes the
+    /// cycle count infinite, and a zero psum buffer makes the accumulation
+    /// spill factor infinite — both would silently poison every geomean
+    /// they touch instead of failing loudly.
+    ///
+    /// # Errors
+    /// Returns a [`SudcError`] listing every zero dimension.
+    pub fn try_validate(self) -> Result<Self, SudcError> {
+        let mut d = Diagnostics::new("AcceleratorConfig");
+        d.positive_count("pe_x", u64::from(self.pe_x));
+        d.positive_count("pe_y", u64::from(self.pe_y));
+        d.positive_count("ifmap_kib", u64::from(self.ifmap_kib));
+        d.positive_count("weight_kib", u64::from(self.weight_kib));
+        d.positive_count("psum_kib", u64::from(self.psum_kib));
+        d.into_result(self)
     }
 
     /// A mid-sized reference design (16×16 PEs, 64/64/32 KiB buffers).
@@ -117,6 +138,23 @@ mod tests {
         let c = AcceleratorConfig::reference();
         assert_eq!(c.pes(), 256);
         assert_eq!(c.total_buffer_kib(), 160);
+    }
+
+    #[test]
+    fn validation_rejects_zero_dimensions() {
+        assert!(AcceleratorConfig::reference().try_validate().is_ok());
+        for config in design_space() {
+            assert!(config.try_validate().is_ok());
+        }
+        let bad = AcceleratorConfig {
+            pe_x: 0,
+            psum_kib: 0,
+            ..AcceleratorConfig::reference()
+        };
+        let err = bad.try_validate().unwrap_err();
+        assert_eq!(err.violations().len(), 2);
+        assert!(err.to_string().contains("pe_x"));
+        assert!(err.to_string().contains("psum_kib"));
     }
 
     #[test]

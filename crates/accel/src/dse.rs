@@ -8,6 +8,17 @@
 //! design's energy efficiency on all layers of the network." Per-layer
 //! designs simply take the best design for every individual layer.
 //!
+//! A *design point* here is an [`AcceleratorConfig`] × a hardwired mapping
+//! [`Engine`] (dataflow × spatial projection): 7 168 configurations × 6
+//! engines. Software [`Schedule`]s (loop order × output-row tiling) are
+//! searched per layer on every design point — see [`crate::mapping`] —
+//! through the shape-deduplicated [`LayerMemo`], with energy lower-bound
+//! pruning inside each schedule search. The sweep runs chunked across the
+//! [`sudc_par`] executor and is bit-identical to its serial oracle at any
+//! worker count: chunk results merge left-to-right with a strictly-greater
+//! test on flat `(config, engine)` indices, so ties resolve to the lowest
+//! index exactly as in the serial loop.
+//!
 //! The GPU baseline is derived from the Table III measurements: the
 //! effective energy per useful MAC on the RTX 3090 is
 //! `P / (peak_FP32 · utilization / 2)` scaled by a framework-overhead
@@ -19,18 +30,19 @@ use std::collections::BTreeMap;
 use sudc_compute::hardware::rtx_3090;
 use sudc_compute::networks::{Network, NetworkId};
 use sudc_compute::workloads::{self, Workload};
+use sudc_errors::{Diagnostics, SudcError};
 use sudc_units::Joules;
 
-use crate::dataflow::{layer_efficiency, layer_energy, network_energy};
 use crate::design::{design_space, AcceleratorConfig};
 use crate::energy::EnergyTable;
+use crate::mapping::{self, Engine, SearchCounters, ENGINE_COUNT};
 use crate::memo::LayerMemo;
 
 /// Framework overhead on the GPU baseline: measured wall-power × time
 /// divided by utilization-derived useful MACs understates per-MAC energy,
 /// because cuDNN/TensorFlow inference also spends energy on memory traffic,
 /// host sync, and idle SMs.
-const GPU_FRAMEWORK_OVERHEAD: f64 = 6.0;
+const GPU_FRAMEWORK_OVERHEAD: f64 = 4.8;
 
 /// The compute system architectures compared in Figs. 17–18.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -66,10 +78,42 @@ pub fn gpu_joules_per_mac(workload: &Workload) -> f64 {
     workload.gpu_power.value() / useful_mac_rate * GPU_FRAMEWORK_OVERHEAD
 }
 
+/// [`gpu_joules_per_mac`] with validated inputs: a zero-utilization or
+/// non-finite workload would otherwise flow `inf`/NaN into every geomean
+/// downstream.
+///
+/// # Errors
+/// Returns a [`SudcError`] naming each offending field.
+pub fn try_gpu_joules_per_mac(workload: &Workload) -> Result<f64, SudcError> {
+    let mut d = Diagnostics::new("Workload");
+    if d.finite("utilization", workload.utilization) {
+        d.in_range("utilization", workload.utilization, f64::MIN_POSITIVE, 1.0);
+    }
+    if d.finite("gpu_power_w", workload.gpu_power.value()) {
+        d.positive("gpu_power_w", workload.gpu_power.value());
+    }
+    d.into_result(())?;
+    Ok(gpu_joules_per_mac(workload))
+}
+
 /// GPU energy for one inference of the workload's network.
 #[must_use]
 pub fn gpu_network_energy(workload: &Workload, network: &Network) -> Joules {
     Joules::new(network.total_macs() as f64 * gpu_joules_per_mac(workload))
+}
+
+/// The winning design point and schedule for one layer of one network —
+/// the per-shape winner table a per-layer architecture is built from.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LayerWinner {
+    /// The layer's best configuration.
+    pub config: AcceleratorConfig,
+    /// The layer's best hardwired engine.
+    pub engine: Engine,
+    /// The best software schedule on that design point.
+    pub schedule: mapping::Schedule,
+    /// Layer energy on the winning mapping.
+    pub energy: Joules,
 }
 
 /// Per-network outcome of the sweep.
@@ -85,8 +129,12 @@ pub struct NetworkResult {
     pub per_network_energy: Joules,
     /// Energy per inference with the best accelerator per layer.
     pub per_layer_energy: Joules,
-    /// This network's best design.
+    /// This network's best configuration.
     pub best_config: AcceleratorConfig,
+    /// This network's best hardwired engine.
+    pub best_engine: Engine,
+    /// Winning design point per layer (the persisted winner table).
+    pub per_layer_winners: Vec<LayerWinner>,
 }
 
 impl NetworkResult {
@@ -104,24 +152,76 @@ impl NetworkResult {
     }
 }
 
-/// Complete outcome of the 7 168-design sweep.
+/// Aggregate counters from one sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepStats {
+    /// Schedules fully evaluated through the cost model.
+    pub schedules_evaluated: u64,
+    /// Schedules skipped by the energy lower-bound prune.
+    pub schedules_pruned: u64,
+    /// Per-`(design point, shape)` schedule searches performed.
+    pub shape_searches: u64,
+    /// Layer evaluations served by the `(config, shape)` memo instead of
+    /// recomputation (duplicate shapes across the suite).
+    pub memo_hits: u64,
+    /// Distinct layer shapes in the suite.
+    pub unique_shapes: usize,
+    /// Total layers across the suite before deduplication.
+    pub total_layers: usize,
+}
+
+impl SweepStats {
+    /// Fraction of schedule candidates the lower bound pruned away.
+    #[must_use]
+    pub fn prune_rate(&self) -> f64 {
+        let total = self.schedules_evaluated + self.schedules_pruned;
+        if total == 0 {
+            0.0
+        } else {
+            self.schedules_pruned as f64 / total as f64
+        }
+    }
+
+    /// Fraction of per-layer lookups served by the shape memo.
+    #[must_use]
+    pub fn memo_hit_rate(&self) -> f64 {
+        let lookups = self.memo_hits + self.shape_searches;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.memo_hits as f64 / lookups as f64
+        }
+    }
+}
+
+/// Complete outcome of the `7 168 configs × 6 engines` sweep.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DseOutcome {
-    /// The globally optimal design (geomean over all layers of all nets).
+    /// The globally optimal configuration (geomean over all layers of all
+    /// nets).
     pub global_best: AcceleratorConfig,
+    /// The globally optimal hardwired engine.
+    pub global_engine: Engine,
     /// Per-network results, keyed in `NetworkId::all()` order.
     pub networks: Vec<NetworkResult>,
-    /// Number of designs evaluated.
+    /// Number of configurations evaluated.
     pub designs_evaluated: usize,
+    /// Number of hardwired engines evaluated per configuration.
+    pub engines_evaluated: usize,
+    /// Search counters (pruning, memoization).
+    pub stats: SweepStats,
 }
 
 impl DseOutcome {
-    /// Geometric-mean energy-efficiency improvement over the GPU baseline
-    /// across all networks (Fig. 17's headline numbers).
+    /// Mean energy-efficiency improvement over the GPU baseline across all
+    /// networks (Fig. 17's headline numbers): the arithmetic mean of the
+    /// per-network improvement factors, matching the figure's per-workload
+    /// bars. (Design *selection* inside the sweep uses geometric means —
+    /// this is only the reporting aggregate.)
     #[must_use]
     pub fn mean_improvement(&self, arch: SystemArchitecture) -> f64 {
-        let log_sum: f64 = self.networks.iter().map(|n| n.improvement(arch).ln()).sum();
-        (log_sum / self.networks.len() as f64).exp()
+        let sum: f64 = self.networks.iter().map(|n| n.improvement(arch)).sum();
+        sum / self.networks.len() as f64
     }
 
     /// Result for one network.
@@ -131,37 +231,43 @@ impl DseOutcome {
     }
 }
 
-/// Runs the sweep over the full 7 168-design space with the default
+/// Runs the sweep over the full 7 168-configuration space with the default
 /// same-node energy table.
 #[must_use]
 pub fn run_full_dse() -> DseOutcome {
     run_dse(&design_space(), &EnergyTable::default())
 }
 
-/// Per-thread sweep accumulator: scores paired with *config indices* so the
+/// Per-thread sweep accumulator: scores paired with *flat design-point
+/// indices* (`config_index · ENGINE_COUNT + engine_index`) so the
 /// cross-chunk merge can express the serial tie-break (lowest index wins).
 struct BestSoFar {
     global: (f64, usize),
     per_network: Vec<(f64, usize)>,
-    per_layer: Vec<Vec<(f64, usize)>>,
+    /// Best per unique shape — the per-layer architecture reads through
+    /// the memo's slots.
+    per_shape: Vec<(f64, usize)>,
+    counters: SearchCounters,
+    /// Per-config scratch of ln-efficiencies, `shape × engine` — carried
+    /// in the accumulator so the fold never allocates.
+    scratch: Vec<f64>,
 }
 
 impl BestSoFar {
-    fn new(networks: &[Network]) -> Self {
+    fn new(networks: &[Network], shapes: usize) -> Self {
         Self {
             global: (f64::NEG_INFINITY, 0),
             per_network: vec![(f64::NEG_INFINITY, 0); networks.len()],
-            per_layer: networks
-                .iter()
-                .map(|n| vec![(f64::NEG_INFINITY, 0); n.layers.len()])
-                .collect(),
+            per_shape: vec![(f64::NEG_INFINITY, 0); shapes],
+            counters: SearchCounters::default(),
+            scratch: vec![0.0; shapes * ENGINE_COUNT],
         }
     }
 }
 
 /// Keeps `a` unless `b` is *strictly* better. Chunks merge left to right in
 /// index order, so this reproduces the serial loop's first-wins `>` test and
-/// ties resolve to the lowest config index.
+/// ties resolve to the lowest flat design-point index.
 fn better(a: (f64, usize), b: (f64, usize)) -> (f64, usize) {
     if b.0 > a.0 {
         b
@@ -170,14 +276,81 @@ fn better(a: (f64, usize), b: (f64, usize)) -> (f64, usize) {
     }
 }
 
-/// Runs the sweep over an arbitrary design space, in parallel.
+/// Shared per-config fold body: the single implementation both the serial
+/// oracle and every parallel chunk execute, so their arithmetic is
+/// identical by construction.
+fn sweep_config(
+    best: &mut BestSoFar,
+    idx: usize,
+    config: AcceleratorConfig,
+    memo: &LayerMemo,
+    networks: &[Network],
+    table: &EnergyTable,
+) {
+    let glb_pj = table.glb_access_pj(f64::from(config.total_buffer_kib()));
+    let engines = Engine::all();
+
+    // Phase 1: best-schedule search per (shape, engine); ln-efficiencies
+    // land in the scratch table keyed on (shape, engine).
+    for (si, layer) in memo.unique_layers().iter().enumerate() {
+        let candidates = memo.candidates(si);
+        let dram = mapping::dram_pj_by_order(config, table, layer);
+        let macs = layer.macs() as f64;
+        for (ei, &engine) in engines.iter().enumerate() {
+            let choice = mapping::search(
+                config,
+                table,
+                glb_pj,
+                layer,
+                engine,
+                candidates,
+                dram,
+                true,
+                &mut best.counters,
+            );
+            best.scratch[si * ENGINE_COUNT + ei] = (macs / (choice.picojoules * 1e-12)).ln();
+        }
+    }
+
+    // Phase 2: score each engine as a full design point, in engine-index
+    // order so the flat tie-break matches the serial nesting.
+    for ei in 0..ENGINE_COUNT {
+        let flat = idx * ENGINE_COUNT + ei;
+        for si in 0..memo.unique_layers().len() {
+            // ln is monotone, so comparing log-efficiencies picks the same
+            // winner as comparing efficiencies.
+            best.per_shape[si] = better(
+                best.per_shape[si],
+                (best.scratch[si * ENGINE_COUNT + ei], flat),
+            );
+        }
+        let mut global_log_sum = 0.0;
+        for (ni, net) in networks.iter().enumerate() {
+            let mut net_log_sum = 0.0;
+            for si in 0..memo.unique_layers().len() {
+                let m = memo.multiplicity(ni, si);
+                if m > 0.0 {
+                    net_log_sum += m * best.scratch[si * ENGINE_COUNT + ei];
+                }
+            }
+            let net_geo = net_log_sum / net.layers.len() as f64;
+            best.per_network[ni] = better(best.per_network[ni], (net_geo, flat));
+            global_log_sum += net_log_sum;
+        }
+        let global_geo = global_log_sum / memo.total_layers() as f64;
+        best.global = better(best.global, (global_geo, flat));
+    }
+}
+
+/// Runs the sweep over an arbitrary configuration space, in parallel.
 ///
 /// The space is partitioned into contiguous chunks across the workspace
 /// executor's threads ([`sudc_par::threads`]); each thread folds its chunk
-/// with the same arithmetic as [`run_dse_serial`], reading layer
-/// efficiencies through a per-`(config, layer-shape)` memo ([`LayerMemo`]),
-/// and chunk results merge in index order with a strictly-greater test.
-/// The outcome is bit-identical to the serial sweep at every thread count.
+/// with the same arithmetic as [`run_dse_serial`], searching schedules
+/// through the per-`(config, shape)` memo ([`LayerMemo`]) with lower-bound
+/// pruning, and chunk results merge in index order with a strictly-greater
+/// test. The outcome is bit-identical to the serial sweep at every thread
+/// count.
 ///
 /// # Panics
 ///
@@ -206,25 +379,9 @@ pub fn run_dse_threads(
     let best = sudc_par::par_reduce_threads(
         workers,
         space,
-        || BestSoFar::new(&networks),
+        || BestSoFar::new(&networks, memo.unique_layers().len()),
         |mut best, idx, &config| {
-            let effs = memo.efficiencies(config, table);
-            let mut global_log_sum = 0.0;
-            let mut global_layers = 0usize;
-            for (ni, net) in networks.iter().enumerate() {
-                let mut net_log_sum = 0.0;
-                for li in 0..net.layers.len() {
-                    let eff = effs[memo.slot(ni, li)];
-                    net_log_sum += eff.ln();
-                    best.per_layer[ni][li] = better(best.per_layer[ni][li], (eff, idx));
-                }
-                let net_geo = net_log_sum / net.layers.len() as f64;
-                best.per_network[ni] = better(best.per_network[ni], (net_geo, idx));
-                global_log_sum += net_log_sum;
-                global_layers += net.layers.len();
-            }
-            let global_geo = global_log_sum / global_layers as f64;
-            best.global = better(best.global, (global_geo, idx));
+            sweep_config(&mut best, idx, config, &memo, &networks, table);
             best
         },
         |mut a, b| {
@@ -232,27 +389,20 @@ pub fn run_dse_threads(
             for (av, bv) in a.per_network.iter_mut().zip(b.per_network) {
                 *av = better(*av, bv);
             }
-            for (al, bl) in a.per_layer.iter_mut().zip(b.per_layer) {
-                for (av, bv) in al.iter_mut().zip(bl) {
-                    *av = better(*av, bv);
-                }
+            for (av, bv) in a.per_shape.iter_mut().zip(b.per_shape) {
+                *av = better(*av, bv);
             }
+            a.counters.evaluated += b.counters.evaluated;
+            a.counters.pruned += b.counters.pruned;
             a
         },
     );
 
-    assemble_outcome(
-        space,
-        table,
-        &networks,
-        space[best.global.1],
-        &best.per_network,
-        &best.per_layer,
-    )
+    assemble_outcome(space, table, &networks, &memo, &best)
 }
 
-/// Reference serial sweep — the pre-parallelization implementation, kept as
-/// the oracle that [`run_dse`] must match bit for bit.
+/// Reference serial sweep — a plain loop over the space, kept as the
+/// oracle that [`run_dse`] must match bit for bit at any worker count.
 ///
 /// # Panics
 ///
@@ -262,93 +412,237 @@ pub fn run_dse_serial(space: &[AcceleratorConfig], table: &EnergyTable) -> DseOu
     assert!(!space.is_empty(), "design space must be non-empty");
 
     let networks: Vec<Network> = NetworkId::all().iter().map(|id| id.network()).collect();
+    let memo = LayerMemo::for_networks(&networks);
 
-    // Sweep: track global geomean, per-network geomean, and per-layer best.
-    let mut best_global: (f64, usize) = (f64::NEG_INFINITY, 0);
-    let mut best_per_network: Vec<(f64, usize)> = vec![(f64::NEG_INFINITY, 0); networks.len()];
-    let mut best_per_layer: Vec<Vec<(f64, usize)>> = networks
-        .iter()
-        .map(|n| vec![(f64::NEG_INFINITY, 0); n.layers.len()])
-        .collect();
-
+    let mut best = BestSoFar::new(&networks, memo.unique_layers().len());
     for (idx, &config) in space.iter().enumerate() {
-        let mut global_log_sum = 0.0;
-        let mut global_layers = 0usize;
-        for (ni, net) in networks.iter().enumerate() {
-            let mut net_log_sum = 0.0;
-            for (li, layer) in net.layers.iter().enumerate() {
-                let eff = layer_efficiency(config, table, layer);
-                let log_eff = eff.ln();
-                net_log_sum += log_eff;
-                if eff > best_per_layer[ni][li].0 {
-                    best_per_layer[ni][li] = (eff, idx);
-                }
-            }
-            let net_geo = net_log_sum / net.layers.len() as f64;
-            if net_geo > best_per_network[ni].0 {
-                best_per_network[ni] = (net_geo, idx);
-            }
-            global_log_sum += net_log_sum;
-            global_layers += net.layers.len();
-        }
-        let global_geo = global_log_sum / global_layers as f64;
-        if global_geo > best_global.0 {
-            best_global = (global_geo, idx);
-        }
+        sweep_config(&mut best, idx, config, &memo, &networks, table);
     }
 
-    assemble_outcome(
-        space,
-        table,
-        &networks,
-        space[best_global.1],
-        &best_per_network,
-        &best_per_layer,
-    )
+    assemble_outcome(space, table, &networks, &memo, &best)
 }
 
-/// Builds the [`DseOutcome`] from winning config indices — shared by the
+/// Validated sweep: rejects an empty space, malformed configurations
+/// (e.g. a zero psum buffer, whose spill factor would be infinite), and a
+/// non-finite energy table before any arithmetic runs.
+///
+/// # Errors
+/// Returns a [`SudcError`] collecting every violation.
+pub fn try_run_dse(
+    space: &[AcceleratorConfig],
+    table: &EnergyTable,
+) -> Result<DseOutcome, SudcError> {
+    let mut d = Diagnostics::new("DSE");
+    d.positive_count("space.len", space.len() as u64);
+    d.finish()?;
+    table.try_validate()?;
+    let mut diags = Diagnostics::new("DSE");
+    for (i, config) in space.iter().enumerate() {
+        if let Err(e) = config.try_validate() {
+            for v in e.violations() {
+                diags.violation(
+                    format!("space[{i}].{}", v.path),
+                    v.value.clone(),
+                    v.allowed.clone(),
+                );
+            }
+        }
+    }
+    diags.finish()?;
+    Ok(run_dse(space, table))
+}
+
+fn unflatten(flat: usize) -> (usize, Engine) {
+    (flat / ENGINE_COUNT, Engine::all()[flat % ENGINE_COUNT])
+}
+
+/// Builds the [`DseOutcome`] from winning flat indices — shared by the
 /// serial and parallel sweeps so their outputs are structurally identical.
+/// Winning schedules are *recomputed* here (deterministically, via the
+/// same pruned search) rather than carried through the fold, keeping the
+/// accumulator small.
 fn assemble_outcome(
     space: &[AcceleratorConfig],
     table: &EnergyTable,
     networks: &[Network],
-    global_best: AcceleratorConfig,
-    best_per_network: &[(f64, usize)],
-    best_per_layer: &[Vec<(f64, usize)>],
+    memo: &LayerMemo,
+    best: &BestSoFar,
 ) -> DseOutcome {
     let workload_by_network: BTreeMap<NetworkId, Workload> = workloads::suite()
         .into_iter()
         .map(|w| (w.network, w))
         .collect();
 
+    let (gc, global_engine) = unflatten(best.global.1);
+    let global_best = space[gc];
+
+    let winner_for = |flat: usize, layer| {
+        let (ci, engine) = unflatten(flat);
+        let config = space[ci];
+        let glb_pj = table.glb_access_pj(f64::from(config.total_buffer_kib()));
+        let mut c = SearchCounters::default();
+        let choice = mapping::best_schedule(config, table, glb_pj, layer, engine, &mut c);
+        LayerWinner {
+            config,
+            engine,
+            schedule: choice.schedule,
+            energy: choice.energy(),
+        }
+    };
+
     let results = networks
         .iter()
         .enumerate()
         .map(|(ni, net)| {
             let workload = &workload_by_network[&net.id];
-            let per_network_best = space[best_per_network[ni].1];
-            let per_layer_energy: Joules = net
+            let (nc, best_engine) = unflatten(best.per_network[ni].1);
+            let per_network_best = space[nc];
+            let per_layer_winners: Vec<LayerWinner> = net
                 .layers
                 .iter()
-                .zip(&best_per_layer[ni])
-                .map(|(layer, &(_, cfg))| layer_energy(space[cfg], table, layer))
-                .sum();
+                .enumerate()
+                .map(|(li, layer)| winner_for(best.per_shape[memo.slot(ni, li)].1, layer))
+                .collect();
+            let per_layer_energy: Joules = per_layer_winners.iter().map(|w| w.energy).sum();
             NetworkResult {
                 network: net.id,
                 gpu_energy: gpu_network_energy(workload, net),
-                global_energy: network_energy(global_best, table, net),
-                per_network_energy: network_energy(per_network_best, table, net),
+                global_energy: mapping::engine_network_energy(
+                    global_best,
+                    global_engine,
+                    table,
+                    net,
+                ),
+                per_network_energy: mapping::engine_network_energy(
+                    per_network_best,
+                    best_engine,
+                    table,
+                    net,
+                ),
                 per_layer_energy,
                 best_config: per_network_best,
+                best_engine,
+                per_layer_winners,
             }
         })
         .collect();
 
+    let shape_searches =
+        space.len() as u64 * ENGINE_COUNT as u64 * memo.unique_layers().len() as u64;
     DseOutcome {
         global_best,
+        global_engine,
         networks: results,
         designs_evaluated: space.len(),
+        engines_evaluated: ENGINE_COUNT,
+        stats: SweepStats {
+            schedules_evaluated: best.counters.evaluated,
+            schedules_pruned: best.counters.pruned,
+            shape_searches,
+            memo_hits: memo.dedup_hits(space.len(), ENGINE_COUNT),
+            unique_shapes: memo.unique_layers().len(),
+            total_layers: memo.total_layers(),
+        },
+    }
+}
+
+/// Deterministic fingerprint of a sweep's inputs (FNV-1a over the
+/// configuration fields and the energy table's bit patterns) — the
+/// incremental-DSE cache key.
+#[must_use]
+pub fn sweep_fingerprint(space: &[AcceleratorConfig], table: &EnergyTable) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    let mut mix = |v: u64| {
+        for byte in v.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+    };
+    for c in space {
+        for field in [c.pe_x, c.pe_y, c.ifmap_kib, c.weight_kib, c.psum_kib] {
+            mix(u64::from(field));
+        }
+    }
+    for field in [
+        table.mac_pj,
+        table.rf_pj,
+        table.noc_pj,
+        table.glb_base_pj,
+        table.glb_reference_kib,
+        table.dram_pj,
+        table.static_pe_pj,
+        table.static_sram_pj_per_kib,
+        table.system_static_pj,
+        table.dram_words_per_cycle,
+        table.dram_refetch_pj_factor,
+    ] {
+        mix(field.to_bits());
+    }
+    h
+}
+
+/// Incremental-DSE cache: repeated sweeps with identical inputs (router
+/// re-pricing, tornado arms, warm bench reps) return the memoized outcome
+/// instead of re-running the search. Valid across worker counts because
+/// the sweep is bit-identical at any `--jobs`.
+#[derive(Debug, Clone, Default)]
+pub struct DseCache {
+    entries: Vec<(u64, DseOutcome)>,
+    lookups: u64,
+    hits: u64,
+}
+
+impl DseCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs (or replays) a sweep.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `space` is empty.
+    pub fn run(&mut self, space: &[AcceleratorConfig], table: &EnergyTable) -> DseOutcome {
+        let key = sweep_fingerprint(space, table);
+        self.lookups += 1;
+        if let Some((_, cached)) = self.entries.iter().find(|(k, _)| *k == key) {
+            self.hits += 1;
+            return cached.clone();
+        }
+        let outcome = run_dse(space, table);
+        self.entries.push((key, outcome.clone()));
+        outcome
+    }
+
+    /// Runs (or replays) the full default sweep.
+    pub fn run_full(&mut self) -> DseOutcome {
+        self.run(&design_space(), &EnergyTable::default())
+    }
+
+    /// Sweeps requested through this cache.
+    #[must_use]
+    pub fn lookups(&self) -> u64 {
+        self.lookups
+    }
+
+    /// Sweeps served from the cache.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Fraction of sweeps served from the cache.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups as f64
+        }
     }
 }
 
@@ -356,7 +650,7 @@ fn assemble_outcome(
 mod tests {
     use super::*;
 
-    /// A reduced space keeps unit tests fast; the full 7 168-design sweep
+    /// A reduced space keeps unit tests fast; the full 7 168-config sweep
     /// runs in the integration tests and benches.
     fn small_space() -> Vec<AcceleratorConfig> {
         design_space().into_iter().step_by(37).collect()
@@ -399,12 +693,33 @@ mod tests {
     }
 
     #[test]
+    fn per_layer_winners_sum_to_per_layer_energy() {
+        let out = run_dse(&small_space(), &EnergyTable::default());
+        for n in &out.networks {
+            let sum: Joules = n.per_layer_winners.iter().map(|w| w.energy).sum();
+            assert_eq!(sum, n.per_layer_energy, "{}", n.network);
+            assert!(!n.per_layer_winners.is_empty());
+        }
+    }
+
+    #[test]
     fn every_network_has_a_result() {
         let out = run_dse(&small_space(), &EnergyTable::default());
         assert_eq!(out.networks.len(), 10);
         for id in NetworkId::all() {
             assert!(out.network(id).is_some(), "{id}");
         }
+    }
+
+    #[test]
+    fn sweep_stats_are_populated() {
+        let out = run_dse(&small_space(), &EnergyTable::default());
+        assert!(out.stats.schedules_evaluated > 0);
+        assert!(out.stats.schedules_pruned > 0, "pruning never fired");
+        assert!(out.stats.memo_hit_rate() > 0.0);
+        assert!(out.stats.prune_rate() > 0.0 && out.stats.prune_rate() < 1.0);
+        assert_eq!(out.engines_evaluated, ENGINE_COUNT);
+        assert_eq!(out.designs_evaluated, small_space().len());
     }
 
     #[test]
@@ -416,9 +731,31 @@ mod tests {
     }
 
     #[test]
+    fn hostile_workload_is_rejected_not_propagated() {
+        let mut w = workloads::by_name("Flood Detection").unwrap();
+        w.utilization = 0.0;
+        let err = try_gpu_joules_per_mac(&w).unwrap_err();
+        assert!(err.violations()[0].path.contains("utilization"));
+        assert!(gpu_joules_per_mac(&w).is_infinite(), "unchecked path: inf");
+    }
+
+    #[test]
     #[should_panic(expected = "design space must be non-empty")]
     fn empty_space_panics() {
         let _ = run_dse(&[], &EnergyTable::default());
+    }
+
+    #[test]
+    fn try_run_dse_rejects_empty_and_malformed_spaces() {
+        assert!(try_run_dse(&[], &EnergyTable::default()).is_err());
+        let bad = AcceleratorConfig {
+            psum_kib: 0,
+            ..AcceleratorConfig::reference()
+        };
+        let err = try_run_dse(&[bad], &EnergyTable::default()).unwrap_err();
+        assert!(err.violations()[0].path.contains("psum_kib"));
+        let ok = try_run_dse(&[AcceleratorConfig::reference()], &EnergyTable::default());
+        assert!(ok.is_ok());
     }
 
     #[test]
@@ -439,6 +776,26 @@ mod tests {
         assert_eq!(out.global_best, space[0]);
         for n in &out.networks {
             assert_eq!(n.best_config, space[0]);
+            for w in &n.per_layer_winners {
+                assert_eq!(w.config, space[0]);
+            }
         }
+    }
+
+    #[test]
+    fn cache_replays_identical_sweeps() {
+        let space = small_space();
+        let table = EnergyTable::default();
+        let mut cache = DseCache::new();
+        let cold = cache.run(&space, &table);
+        assert_eq!(cache.hits(), 0);
+        let warm = cache.run(&space, &table);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cold, warm);
+        // A different table is a different sweep.
+        let other = cache.run(&space, &EnergyTable::eyeriss_45nm());
+        assert_eq!(cache.hits(), 1);
+        assert_ne!(other.global_best.to_string(), String::new());
+        assert!((cache.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
     }
 }

@@ -31,8 +31,10 @@ pub mod dataflow;
 pub mod design;
 pub mod dse;
 pub mod energy;
+pub mod mapping;
 pub mod memo;
 pub mod pipeline;
 
 pub use design::AcceleratorConfig;
 pub use dse::{DseOutcome, SystemArchitecture};
+pub use mapping::{Engine, Mapping, Schedule};

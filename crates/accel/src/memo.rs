@@ -3,10 +3,14 @@
 //! The DSE's cost model depends only on a layer's *shape*, and CNN suites
 //! repeat shapes heavily (every 3×3/stride-1 block of a ResNet stage is
 //! identical, U-Net mirrors its encoder, …). Deduplicating shapes up front
-//! means each of the 7 168 configurations evaluates each distinct shape
-//! exactly once — the per-`(config, layer-shape)` cache the sweep reads
-//! through — which cuts the hot loop by the suite's duplication factor
-//! (~2–3× for the Table III networks) in serial *and* parallel runs.
+//! means each `(config, engine)` design point evaluates its schedule
+//! search once per distinct shape — the `(config, shape)`-keyed cache the
+//! sweep reads through — which cuts the hot loop by the suite's
+//! duplication factor (~2.3× for the Table III networks) in serial *and*
+//! parallel runs. The memo also precomputes, per shape, everything the
+//! mapping search re-reads on every config: the deduplicated schedule
+//! candidate list and the per-network multiplicity matrix that turns
+//! per-shape log-efficiencies into geomean scores.
 
 use std::collections::HashMap;
 
@@ -15,6 +19,7 @@ use sudc_compute::networks::{Layer, Network};
 use crate::dataflow::layer_efficiency;
 use crate::design::AcceleratorConfig;
 use crate::energy::EnergyTable;
+use crate::mapping::{schedule_candidates, Schedule};
 
 /// Shape-deduplicated view of a network suite.
 #[derive(Debug, Clone)]
@@ -23,6 +28,11 @@ pub struct LayerMemo {
     unique: Vec<Layer>,
     /// `slot[network][layer]` → index into `unique`.
     slot: Vec<Vec<usize>>,
+    /// `mult[network][shape]` → how many layers of the network have the
+    /// shape (as f64: it weights log-efficiency sums).
+    mult: Vec<Vec<f64>>,
+    /// Deduplicated schedule candidates per shape.
+    candidates: Vec<Vec<Schedule>>,
     /// Total (non-deduplicated) layer count across the suite.
     total_layers: usize,
 }
@@ -34,7 +44,7 @@ impl LayerMemo {
         let mut unique: Vec<Layer> = Vec::new();
         let mut index_of: HashMap<Layer, usize> = HashMap::new();
         let mut total_layers = 0;
-        let slot = networks
+        let slot: Vec<Vec<usize>> = networks
             .iter()
             .map(|net| {
                 net.layers
@@ -49,9 +59,22 @@ impl LayerMemo {
                     .collect()
             })
             .collect();
+        let mult = slot
+            .iter()
+            .map(|slots| {
+                let mut row = vec![0.0; unique.len()];
+                for &si in slots {
+                    row[si] += 1.0;
+                }
+                row
+            })
+            .collect();
+        let candidates = unique.iter().map(schedule_candidates).collect();
         Self {
             unique,
             slot,
+            mult,
+            candidates,
             total_layers,
         }
     }
@@ -72,6 +95,27 @@ impl LayerMemo {
     #[must_use]
     pub fn slot(&self, ni: usize, li: usize) -> usize {
         self.slot[ni][li]
+    }
+
+    /// How many layers of network `ni` share shape `si`.
+    #[must_use]
+    pub fn multiplicity(&self, ni: usize, si: usize) -> f64 {
+        self.mult[ni][si]
+    }
+
+    /// Deduplicated schedule candidates for shape `si` (precomputed once
+    /// per sweep instead of once per `(config, shape, engine)` search).
+    #[must_use]
+    pub fn candidates(&self, si: usize) -> &[Schedule] {
+        &self.candidates[si]
+    }
+
+    /// Layer evaluations one full `config × engine` sweep of `configs`
+    /// design points serves from the shape dedup instead of recomputing —
+    /// the memo-hit count [`crate::dse::SweepStats`] reports.
+    #[must_use]
+    pub fn dedup_hits(&self, configs: usize, engines: usize) -> u64 {
+        (self.total_layers - self.unique.len()) as u64 * configs as u64 * engines as u64
     }
 
     /// Evaluates `layer_efficiency` once per distinct shape for one
@@ -103,6 +147,7 @@ mod tests {
             memo.unique_layers().len(),
             memo.total_layers()
         );
+        assert!(memo.dedup_hits(1, 1) > 0);
     }
 
     #[test]
@@ -113,6 +158,26 @@ mod tests {
             for (li, layer) in net.layers.iter().enumerate() {
                 assert_eq!(&memo.unique_layers()[memo.slot(ni, li)], layer);
             }
+        }
+    }
+
+    #[test]
+    fn multiplicities_sum_to_network_sizes() {
+        let networks = suite();
+        let memo = LayerMemo::for_networks(&networks);
+        for (ni, net) in networks.iter().enumerate() {
+            let total: f64 = (0..memo.unique_layers().len())
+                .map(|si| memo.multiplicity(ni, si))
+                .sum();
+            assert!((total - net.layers.len() as f64).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn candidates_match_direct_enumeration() {
+        let memo = LayerMemo::for_networks(&suite());
+        for (si, layer) in memo.unique_layers().iter().enumerate() {
+            assert_eq!(memo.candidates(si), schedule_candidates(layer));
         }
     }
 

@@ -1,9 +1,86 @@
 #[test]
 #[ignore]
+fn calibration_breakdown() {
+    use sudc_accel::dataflow::count_accesses_mapped;
+    use sudc_accel::mapping::{best_schedule, SearchCounters};
+    use sudc_accel::{AcceleratorConfig, Mapping};
+
+    let table = sudc_accel::energy::EnergyTable::default();
+    let out = sudc_accel::dse::run_full_dse();
+
+    let terms = |config: AcceleratorConfig, mapping: Mapping, layer: &_| -> [f64; 6] {
+        let glb_pj = table.glb_access_pj(f64::from(config.total_buffer_kib()));
+        let c = count_accesses_mapped(config, layer, mapping);
+        let wire = f64::from(config.pe_x.max(config.pe_y)) / 16.0;
+        let dram_eff = table.dram_effective_words(c.dram_words, c.dram_refetch_words);
+        let wall = c.cycles.max(dram_eff / table.dram_words_per_cycle);
+        [
+            c.macs * table.mac_pj,
+            c.rf_accesses * table.rf_pj,
+            c.noc_transfers * table.noc_pj * wire,
+            c.glb_accesses * glb_pj,
+            dram_eff * table.dram_pj,
+            wall * table.leakage_pj_per_cycle(
+                f64::from(config.pes()),
+                f64::from(config.total_buffer_kib()),
+            ),
+        ]
+    };
+
+    let names = ["mac", "rf", "noc", "glb", "dram", "leak"];
+    for n in &out.networks {
+        let mut glob = [0.0; 6];
+        let mut per_layer = [0.0; 6];
+        let net = n.network.network();
+        for (layer, w) in net.layers.iter().zip(&n.per_layer_winners) {
+            let gcfg = out.global_best;
+            let glb_pj = table.glb_access_pj(f64::from(gcfg.total_buffer_kib()));
+            let mut cnt = SearchCounters::default();
+            let gch = best_schedule(gcfg, &table, glb_pj, layer, out.global_engine, &mut cnt);
+            let gmap = Mapping {
+                engine: out.global_engine,
+                schedule: gch.schedule,
+            };
+            for (a, t) in glob.iter_mut().zip(terms(gcfg, gmap, layer)) {
+                *a += t;
+            }
+            let bmap = Mapping {
+                engine: w.engine,
+                schedule: w.schedule,
+            };
+            for (a, t) in per_layer.iter_mut().zip(terms(w.config, bmap, layer)) {
+                *a += t;
+            }
+        }
+        let gt: f64 = glob.iter().sum();
+        let pt: f64 = per_layer.iter().sum();
+        println!("== {:20} ratio {:.3}", n.network.to_string(), gt / pt);
+        for i in 0..6 {
+            println!(
+                "  {:6} glob {:10.4} mJ {:5.1}%   best {:10.4} mJ {:5.1}%",
+                names[i],
+                glob[i] * 1e-9,
+                100.0 * glob[i] / gt,
+                per_layer[i] * 1e-9,
+                100.0 * per_layer[i] / pt
+            );
+        }
+    }
+}
+
+#[test]
+#[ignore]
 fn calibration_print() {
     let out = sudc_accel::dse::run_full_dse();
     use sudc_accel::dse::SystemArchitecture as SA;
-    println!("global best: {}", out.global_best);
+    println!("global best: {} [{}]", out.global_best, out.global_engine);
+    let mut engine_counts = std::collections::BTreeMap::new();
+    for n in &out.networks {
+        for w in &n.per_layer_winners {
+            *engine_counts.entry(w.engine.to_string()).or_insert(0u32) += 1;
+        }
+    }
+    println!("per-layer engine winners: {engine_counts:?}");
     println!(
         "global   improvement: {:.1}x",
         out.mean_improvement(SA::GlobalAccelerator)

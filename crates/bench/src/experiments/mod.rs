@@ -22,7 +22,7 @@ pub use bus::ext_bus;
 pub use chaos::ext_chaos;
 pub use comms::{fig10, fig7, fig8};
 pub use cost::{fig4, fig5, fig6};
-pub use dse::fig17;
+pub use dse::{ext_dse, fig17};
 pub use extensions::{ext_ablation, ext_latency, ext_precision, ext_sparing, ext_tornado};
 pub use fleet::{fig19, fig21, fig22, fig23};
 pub use reliability::{fig12, fig24, fig25, fig26, fig27, fig28};
@@ -89,6 +89,10 @@ pub fn all_experiments() -> Vec<(&'static str, &'static str)> {
             "bus",
             "QoS pub/sub data plane: topics, lowering, record->replay audit (extension)",
         ),
+        (
+            "dse",
+            "per-layer mapping search: pruning, memoization, router re-pricing (extension)",
+        ),
     ]
 }
 
@@ -132,6 +136,7 @@ pub fn run_experiment(id: &str) -> Option<String> {
         "chaos" => ext_chaos(),
         "router" => ext_router(),
         "bus" => ext_bus(),
+        "dse" => ext_dse(),
         _ => return None,
     };
     Some(report)

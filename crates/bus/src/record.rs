@@ -89,6 +89,15 @@ impl<'a> Cursor<'a> {
         }
     }
 
+    /// A varint that must fit a `u32` field (`sat`, `busy`). The wire
+    /// format carries u64 varints, so a hostile or corrupt log can
+    /// encode values above `u32::MAX`; a plain `as u32` cast would wrap
+    /// silently past full-decode validation.
+    fn varint_u32(&mut self, path: &str) -> Result<u32, SudcError> {
+        let v = self.varint(path)?;
+        u32::try_from(v).map_err(|_| self.err(path, v, "a varint that fits in 32 bits"))
+    }
+
     fn boolean(&mut self, path: &str) -> Result<bool, SudcError> {
         match self.byte(path)? {
             0 => Ok(false),
@@ -288,7 +297,7 @@ impl BusLog {
             tick += c.varint("dtick")?;
             let payload = match tag {
                 TAG_CAPTURE => Payload::Capture {
-                    sat: c.varint("sat")? as u32,
+                    sat: c.varint_u32("sat")?,
                     filtered: c.boolean("filtered")?,
                 },
                 TAG_PROCESSED => Payload::Processed {
@@ -299,7 +308,7 @@ impl BusLog {
                 },
                 TAG_SETTLE => Payload::Settle {
                     events: c.varint("events")?,
-                    busy: c.varint("busy")? as u32,
+                    busy: c.varint_u32("busy")?,
                     batch_queue: c.varint("batch_queue")?,
                     downlink_queue: c.varint("downlink_queue")?,
                     full: c.boolean("full")?,
@@ -338,7 +347,7 @@ impl BusLog {
                     }
                 }
                 TAG_FINISH => Payload::Finish {
-                    busy: c.varint("busy")? as u32,
+                    busy: c.varint_u32("busy")?,
                     batch_queue: c.varint("batch_queue")?,
                     downlink_queue: c.varint("downlink_queue")?,
                     full: c.boolean("full")?,
@@ -482,6 +491,50 @@ mod tests {
         let mut bad = bytes.to_vec();
         *bad.last_mut().unwrap() = 7;
         assert!(BusLog::try_from_bytes(&bad).is_err());
+    }
+
+    #[test]
+    fn out_of_range_u32_varints_are_rejected_not_wrapped() {
+        // Hand-encode records whose `sat`/`busy` varints exceed
+        // u32::MAX. These are valid 64-bit varints, so the old `as u32`
+        // cast would have wrapped them silently (e.g. u32::MAX + 1 → 0).
+        let overflowing = [u64::from(u32::MAX) + 1, u64::MAX];
+        for value in overflowing {
+            // TAG_CAPTURE: tag, dtick=0, sat=value, filtered=0.
+            let mut capture = vec![TAG_CAPTURE, 0];
+            put_varint(&mut capture, value);
+            put_bool(&mut capture, false);
+            let err = BusLog::try_from_bytes(&capture).unwrap_err();
+            let v = &err.violations()[0];
+            assert!(v.path.contains("sat"), "path={}", v.path);
+            assert!(v.value.contains(&value.to_string()), "value={}", v.value);
+
+            // TAG_SETTLE: tag, dtick=0, events=1, busy=value, …
+            let mut settle = vec![TAG_SETTLE, 0, 1];
+            put_varint(&mut settle, value);
+            settle.extend_from_slice(&[0, 0, 1]);
+            let err = BusLog::try_from_bytes(&settle).unwrap_err();
+            assert!(err.violations()[0].path.contains("busy"));
+
+            // TAG_FINISH: tag, dtick=0, busy=value, …
+            let mut finish = vec![TAG_FINISH, 0];
+            put_varint(&mut finish, value);
+            finish.extend_from_slice(&[0, 0, 1, 0]);
+            let err = BusLog::try_from_bytes(&finish).unwrap_err();
+            assert!(err.violations()[0].path.contains("busy"));
+        }
+        // The boundary value itself still decodes.
+        let mut ok = vec![TAG_CAPTURE, 0];
+        put_varint(&mut ok, u64::from(u32::MAX));
+        put_bool(&mut ok, true);
+        let log = BusLog::try_from_bytes(&ok).unwrap();
+        assert_eq!(
+            log.try_samples().unwrap()[0].payload,
+            Payload::Capture {
+                sat: u32::MAX,
+                filtered: true,
+            }
+        );
     }
 
     #[test]

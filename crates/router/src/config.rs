@@ -326,6 +326,44 @@ impl RouterConfig {
         })
     }
 
+    /// Re-prices the orbital SµDC tier for a fleet whose GPU-class parts
+    /// are replaced by the accelerators the `sudc-accel` DSE selects.
+    ///
+    /// `per_app_improvement[a]` is app `a`'s energy-efficiency improvement
+    /// over the RTX 3090-class baseline (e.g. each network's
+    /// per-network-accelerator improvement from the sweep), in
+    /// [`suite`]/[`NetworkId::all`] order. `hardware_price_premium` is the
+    /// cost multiple of the specialized silicon over the commodity part.
+    /// The SµDC's compute-occupancy price scales by `premium /
+    /// improvement`: energy efficiency shrinks the power/thermal/solar
+    /// share that dominates the orbital TCO, while the premium covers the
+    /// custom parts. Onboard and ground tiers keep their reference
+    /// hardware, so only the `OrbitalSudc` column moves — the default
+    /// [`RouterConfig::reference`] pricing is untouched.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SudcError`] naming each non-positive or non-finite
+    /// factor, or any table entry the re-pricing invalidates.
+    pub fn try_with_accelerator_repricing(
+        mut self,
+        per_app_improvement: &[f64; APPS],
+        hardware_price_premium: f64,
+    ) -> Result<Self, SudcError> {
+        let mut d = Diagnostics::new("RouterConfig::try_with_accelerator_repricing");
+        d.positive("hardware_price_premium", hardware_price_premium);
+        for (a, &f) in per_app_improvement.iter().enumerate() {
+            d.positive(format!("per_app_improvement[{a}]"), f);
+        }
+        d.finish()?;
+        for (a, row) in self.terms.iter_mut().enumerate() {
+            row[Tier::OrbitalSudc.index()].per_gbit_usd *=
+                hardware_price_premium / per_app_improvement[a];
+        }
+        self.try_validate()?;
+        Ok(self)
+    }
+
     /// Validates every table entry, collecting all violations.
     ///
     /// # Errors
@@ -409,6 +447,49 @@ mod tests {
         let equator = cfg.lat_wait_s[RouterConfig::lat_bin(0.0)];
         let polar = cfg.lat_wait_s[RouterConfig::lat_bin(85.0)];
         assert!(polar < equator, "polar {polar} vs equator {equator}");
+    }
+
+    #[test]
+    fn accelerator_repricing_moves_only_the_orbital_column() {
+        let reference = RouterConfig::reference();
+        let improvement = [50.0; APPS];
+        let repriced = reference
+            .clone()
+            .try_with_accelerator_repricing(&improvement, 3.0)
+            .expect("repricing must validate");
+        for (a, (before, after)) in reference.terms.iter().zip(&repriced.terms).enumerate() {
+            let t = Tier::OrbitalSudc.index();
+            let expected = before[t].per_gbit_usd * 3.0 / 50.0;
+            assert!(
+                (after[t].per_gbit_usd - expected).abs() <= expected * 1e-12,
+                "app {a} orbital per-Gbit cost"
+            );
+            for tier in [Tier::Onboard, Tier::GroundEdge, Tier::Cloud] {
+                assert_eq!(
+                    before[tier.index()],
+                    after[tier.index()],
+                    "app {a} tier {tier} must keep reference pricing"
+                );
+            }
+        }
+        // The reference config itself is untouched by the builder.
+        assert_eq!(reference, RouterConfig::reference());
+    }
+
+    #[test]
+    fn accelerator_repricing_rejects_hostile_factors() {
+        let mut improvement = [50.0; APPS];
+        improvement[3] = 0.0;
+        improvement[7] = f64::NAN;
+        let err = RouterConfig::reference()
+            .try_with_accelerator_repricing(&improvement, 3.0)
+            .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("per_app_improvement[3]"), "{msg}");
+        assert!(msg.contains("per_app_improvement[7]"), "{msg}");
+        assert!(RouterConfig::reference()
+            .try_with_accelerator_repricing(&[50.0; APPS], f64::INFINITY)
+            .is_err());
     }
 
     #[test]

@@ -12,6 +12,9 @@
 //! pass (see `.github/workflows/ci.yml`).
 
 use proptest::prelude::*;
+use space_udc::accel::dse::{try_gpu_joules_per_mac, try_run_dse};
+use space_udc::accel::energy::EnergyTable;
+use space_udc::accel::AcceleratorConfig;
 use space_udc::bus::{BusConfig, Durability, QosContract};
 use space_udc::chaos::ChaosSummary;
 use space_udc::core::dynamics::DynamicScenario;
@@ -485,6 +488,96 @@ proptest! {
         let result = cfg.try_register("ops/extra", qos).map(|_| ());
         prop_assert_eq!(result.is_ok(), h.is_finite() && h >= 0.0);
         if let Err(e) = result {
+            prop_assert!(structured(&e), "{e}");
+        }
+    }
+
+    #[test]
+    fn energy_table_try_validate_flags_hostile_fields(
+        field in 0u32..11, sel in 0u32..8, mag in 1.0..9.0f64,
+    ) {
+        let h = hostile(sel, mag);
+        let mut t = EnergyTable::default();
+        // positive = the field must be strictly positive; the leakage
+        // entries only need to be non-negative, and the refetch premium
+        // must be at least 1.
+        let valid = match field {
+            0 => { t.mac_pj = h; h.is_finite() && h > 0.0 }
+            1 => { t.rf_pj = h; h.is_finite() && h > 0.0 }
+            2 => { t.noc_pj = h; h.is_finite() && h > 0.0 }
+            3 => { t.glb_base_pj = h; h.is_finite() && h > 0.0 }
+            4 => { t.glb_reference_kib = h; h.is_finite() && h > 0.0 }
+            5 => { t.dram_pj = h; h.is_finite() && h > 0.0 }
+            6 => { t.static_pe_pj = h; h.is_finite() && h >= 0.0 }
+            7 => { t.static_sram_pj_per_kib = h; h.is_finite() && h >= 0.0 }
+            8 => { t.system_static_pj = h; h.is_finite() && h >= 0.0 }
+            9 => { t.dram_words_per_cycle = h; h.is_finite() && h > 0.0 }
+            _ => { t.dram_refetch_pj_factor = h; h.is_finite() && h >= 1.0 }
+        };
+        let result = t.try_validate();
+        prop_assert_eq!(result.is_ok(), valid);
+        if let Err(e) = result {
+            prop_assert!(structured(&e), "{e}");
+        }
+    }
+
+    #[test]
+    fn gpu_joules_per_mac_rejects_exactly_hostile_workloads(
+        sel in 0u32..8, mag in 1.0..9.0f64, poison_power in 0u32..2,
+    ) {
+        let h = hostile(sel, mag);
+        let mut w = space_udc::compute::workloads::most_lightweight();
+        let valid = if poison_power == 1 {
+            w.gpu_power = Watts::new(h);
+            h.is_finite() && h > 0.0
+        } else {
+            w.utilization = h;
+            h.is_finite() && h > 0.0 && h <= 1.0
+        };
+        let result = try_gpu_joules_per_mac(&w);
+        prop_assert_eq!(result.is_ok(), valid);
+        match result {
+            Ok(j) => {
+                prop_assert!(j.is_finite() && j > 0.0);
+            }
+            Err(e) => {
+                prop_assert!(structured(&e), "{e}");
+            }
+        }
+    }
+
+    #[test]
+    fn try_run_dse_rejects_exactly_malformed_sweeps(
+        zero_dim in 0u32..5, sel in 0u32..8, mag in 1.0..9.0f64,
+    ) {
+        // An empty space is rejected before any arithmetic.
+        let err = try_run_dse(&[], &EnergyTable::default()).unwrap_err();
+        prop_assert!(structured(&err), "{err}");
+
+        // A zeroed configuration dimension is named with its space index.
+        let mut bad = AcceleratorConfig::reference();
+        match zero_dim {
+            0 => bad.pe_x = 0,
+            1 => bad.pe_y = 0,
+            2 => bad.ifmap_kib = 0,
+            3 => bad.weight_kib = 0,
+            _ => bad.psum_kib = 0,
+        }
+        prop_assert!(bad.try_validate().is_err());
+        let space = [AcceleratorConfig::reference(), bad];
+        let err = try_run_dse(&space, &EnergyTable::default()).unwrap_err();
+        prop_assert!(structured(&err), "{err}");
+        prop_assert!(
+            err.violations().iter().all(|v| v.path.starts_with("space[1].")),
+            "{err}"
+        );
+
+        // A hostile energy table is caught before the sweep runs.
+        let table = EnergyTable {
+            dram_pj: hostile(sel, mag),
+            ..EnergyTable::default()
+        };
+        if let Err(e) = try_run_dse(&[AcceleratorConfig::reference()], &table) {
             prop_assert!(structured(&e), "{e}");
         }
     }
