@@ -12,6 +12,7 @@ mod cost;
 mod dse;
 mod extensions;
 mod fleet;
+mod health;
 mod reliability;
 mod router;
 mod sim;
@@ -25,6 +26,7 @@ pub use cost::{fig4, fig5, fig6};
 pub use dse::{ext_dse, fig17};
 pub use extensions::{ext_ablation, ext_latency, ext_precision, ext_sparing, ext_tornado};
 pub use fleet::{fig19, fig21, fig22, fig23};
+pub use health::ext_health;
 pub use reliability::{fig12, fig24, fig25, fig26, fig27, fig28};
 pub use router::ext_router;
 pub use sim::ext_sim;
@@ -93,6 +95,10 @@ pub fn all_experiments() -> Vec<(&'static str, &'static str)> {
             "dse",
             "per-layer mapping search: pruning, memoization, router re-pricing (extension)",
         ),
+        (
+            "health",
+            "closed-loop health plane: detection, degraded routing, on/off grid (extension)",
+        ),
     ]
 }
 
@@ -137,6 +143,7 @@ pub fn run_experiment(id: &str) -> Option<String> {
         "router" => ext_router(),
         "bus" => ext_bus(),
         "dse" => ext_dse(),
+        "health" => ext_health(),
         _ => return None,
     };
     Some(report)

@@ -47,13 +47,22 @@ pub struct ChannelStats {
     pub retry_exhausted: u64,
     /// Samples dropped on nack under best-effort reliability.
     pub best_effort_drops: u64,
+    /// Retained samples evicted because their writer's liveliness lease
+    /// expired (the writer went silent longer than `lease_ticks`).
+    pub lease_evicted: u64,
 }
+
+/// Writer id used by [`TopicChannel::publish`]: an anonymous writer
+/// that never participates in liveliness tracking (its samples are
+/// never lease-evicted).
+pub const WRITER_ANONYMOUS: u32 = u32::MAX;
 
 #[derive(Debug, Clone, PartialEq, Eq)]
 struct Entry<T> {
     seq: u64,
     published: Tick,
     attempt: u32,
+    writer: u32,
     data: T,
 }
 
@@ -63,7 +72,10 @@ struct Entry<T> {
 pub struct TopicChannel<T> {
     qos: LoweredQos,
     queue: VecDeque<Entry<T>>,
-    retained: VecDeque<(Tick, T)>,
+    retained: VecDeque<(u32, Tick, T)>,
+    /// Liveliness leases: `(writer, last assertion tick)`, insertion
+    /// order (writers are few; scans are deterministic).
+    leases: Vec<(u32, Tick)>,
     next_seq: u64,
     stats: ChannelStats,
 }
@@ -85,6 +97,7 @@ impl<T: Clone> TopicChannel<T> {
             qos,
             queue: VecDeque::new(),
             retained: VecDeque::new(),
+            leases: Vec::new(),
             next_seq: 0,
             stats: ChannelStats::default(),
         }
@@ -100,11 +113,27 @@ impl<T: Clone> TopicChannel<T> {
     /// queued sample is evicted to make room (newest data wins — the
     /// store-and-forward buffer keeps the freshest backlog).
     pub fn publish(&mut self, tick: Tick, data: T) {
+        self.publish_from(WRITER_ANONYMOUS, tick, data);
+    }
+
+    /// [`TopicChannel::publish`] with an identified writer: the publish
+    /// asserts the writer's liveliness lease (the DDS `AUTOMATIC`
+    /// liveliness kind), so a writer that keeps publishing is never
+    /// declared dead by [`TopicChannel::expire_leases`]. With liveliness
+    /// disabled (`lease_ticks == 0`) this is exactly `publish`.
+    pub fn publish_from(&mut self, writer: u32, tick: Tick, data: T) {
+        if self.qos.lease_ticks > 0 && writer != WRITER_ANONYMOUS {
+            match self.leases.iter_mut().find(|(w, _)| *w == writer) {
+                Some(lease) => lease.1 = tick,
+                None => self.leases.push((writer, tick)),
+            }
+        }
         self.stats.published += 1;
         self.queue.push_back(Entry {
             seq: self.next_seq,
             published: tick,
             attempt: 0,
+            writer,
             data,
         });
         self.next_seq += 1;
@@ -114,6 +143,48 @@ impl<T: Clone> TopicChannel<T> {
                 self.stats.evicted += 1;
             }
         }
+    }
+
+    /// Whether `writer` holds a live lease at `now`: it has published at
+    /// least once and its last assertion is within `lease_ticks`.
+    /// Always `false` with liveliness disabled.
+    #[must_use]
+    pub fn writer_alive(&self, writer: u32, now: Tick) -> bool {
+        self.qos.lease_ticks > 0
+            && self
+                .leases
+                .iter()
+                .any(|&(w, last)| w == writer && now.saturating_sub(last) <= self.qos.lease_ticks)
+    }
+
+    /// Expires every writer whose lease has lapsed at `now`, evicting
+    /// the dead writers' retained (`TRANSIENT_LOCAL`) history so a late
+    /// joiner never replays samples from a quarantined publisher.
+    /// Returns the number of retained samples evicted. A no-op with
+    /// liveliness disabled; an expired writer re-establishes its lease
+    /// by publishing again.
+    pub fn expire_leases(&mut self, now: Tick) -> u64 {
+        if self.qos.lease_ticks == 0 {
+            return 0;
+        }
+        let lease = self.qos.lease_ticks;
+        let mut dead: Vec<u32> = Vec::new();
+        self.leases.retain(|&(w, last)| {
+            if now.saturating_sub(last) > lease {
+                dead.push(w);
+                false
+            } else {
+                true
+            }
+        });
+        if dead.is_empty() {
+            return 0;
+        }
+        let before = self.retained.len();
+        self.retained.retain(|(w, _, _)| !dead.contains(w));
+        let evicted = (before - self.retained.len()) as u64;
+        self.stats.lease_evicted += evicted;
+        evicted
     }
 
     /// Whether a sample published at `published` has outlived the
@@ -138,7 +209,7 @@ impl<T: Clone> TopicChannel<T> {
         self.stats.delivered += 1;
         if self.qos.transient_local {
             self.retained
-                .push_back((entry.published, entry.data.clone()));
+                .push_back((entry.writer, entry.published, entry.data.clone()));
             if self.qos.history_depth > 0 {
                 while self.retained.len() > self.qos.history_depth {
                     self.retained.pop_front();
@@ -157,6 +228,10 @@ impl<T: Clone> TopicChannel<T> {
     /// sample goes back to the *front* (FIFO order preserved) until its
     /// retry budget is spent; under best-effort it is dropped.
     ///
+    /// A requeued sample is anonymous for liveliness purposes (its
+    /// original writer already asserted its lease at publish time; a
+    /// retry is the channel's doing, not the writer's).
+    ///
     /// Returns `true` if the sample will be retried.
     pub fn nack(&mut self, delivery: Delivery<T>) -> bool {
         if self.qos.max_retries == 0 {
@@ -171,6 +246,7 @@ impl<T: Clone> TopicChannel<T> {
             seq: delivery.seq,
             published: delivery.published,
             attempt: delivery.attempt,
+            writer: WRITER_ANONYMOUS,
             data: delivery.data,
         });
         true
@@ -193,7 +269,10 @@ impl<T: Clone> TopicChannel<T> {
     /// volatile channels.
     #[must_use]
     pub fn attach_reader(&self) -> Vec<(Tick, T)> {
-        self.retained.iter().cloned().collect()
+        self.retained
+            .iter()
+            .map(|(_, t, d)| (*t, d.clone()))
+            .collect()
     }
 }
 
@@ -208,6 +287,7 @@ mod tests {
             max_retries,
             history_depth: depth,
             transient_local: false,
+            lease_ticks: 0,
         })
     }
 
@@ -273,6 +353,7 @@ mod tests {
             deadline_s: 0.0,
             durability: Durability::TransientLocal,
             history_depth: 2,
+            liveliness: crate::qos::LivelinessQos::disabled(),
         };
         let mut ch: TopicChannel<u64> = TopicChannel::try_new(&qos, 0.1).unwrap();
         for i in 0..4u64 {
@@ -282,6 +363,61 @@ mod tests {
         // Late joiner sees the last `history_depth` delivered samples.
         let replay = ch.attach_reader();
         assert_eq!(replay, vec![(2, 12), (3, 13)]);
+    }
+
+    #[test]
+    fn lease_expiry_evicts_only_the_dead_writers_history() {
+        let mut ch: TopicChannel<u64> = TopicChannel::from_lowered(LoweredQos {
+            deadline_ticks: 0,
+            max_retries: 0,
+            history_depth: 8,
+            transient_local: true,
+            lease_ticks: 10,
+        });
+        // Writer 1 publishes then goes silent; writer 2 keeps asserting.
+        ch.publish_from(1, 0, 100);
+        ch.publish_from(2, 0, 200);
+        ch.take(0);
+        ch.take(0);
+        assert!(ch.writer_alive(1, 5) && ch.writer_alive(2, 5));
+        ch.publish_from(2, 12, 201);
+        ch.take(12);
+        assert_eq!(ch.attach_reader(), vec![(0, 100), (0, 200), (12, 201)]);
+        // At tick 20 writer 1's lease (last assert 0, lease 10) lapsed.
+        let evicted = ch.expire_leases(20);
+        assert_eq!(evicted, 1);
+        assert!(!ch.writer_alive(1, 20));
+        assert!(ch.writer_alive(2, 20));
+        assert_eq!(ch.attach_reader(), vec![(0, 200), (12, 201)]);
+        assert_eq!(ch.stats().lease_evicted, 1);
+        // Publishing again re-establishes the lease.
+        ch.publish_from(1, 21, 101);
+        assert!(ch.writer_alive(1, 21));
+    }
+
+    #[test]
+    fn disabled_liveliness_never_expires_anyone() {
+        let mut ch = reliable(0, 0, 0);
+        ch.publish_from(1, 0, 7);
+        assert!(!ch.writer_alive(1, 0), "lease_ticks 0 tracks nobody");
+        assert_eq!(ch.expire_leases(1_000_000), 0);
+        assert_eq!(ch.stats().lease_evicted, 0);
+        assert_eq!(ch.take(0).unwrap().data, 7);
+    }
+
+    #[test]
+    fn anonymous_publishes_are_immune_to_lease_eviction() {
+        let mut ch: TopicChannel<u64> = TopicChannel::from_lowered(LoweredQos {
+            deadline_ticks: 0,
+            max_retries: 0,
+            history_depth: 4,
+            transient_local: true,
+            lease_ticks: 5,
+        });
+        ch.publish(0, 50);
+        ch.take(0);
+        assert_eq!(ch.expire_leases(100), 0);
+        assert_eq!(ch.attach_reader(), vec![(0, 50)]);
     }
 
     #[test]

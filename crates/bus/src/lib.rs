@@ -38,10 +38,12 @@ mod sample;
 mod topic;
 
 pub use bus::{Bus, BusStats, Subscriber};
-pub use endpoint::{ChannelStats, Delivery, TopicChannel};
-pub use qos::{Durability, LoweredQos, QosContract, Reliability, STANDARD_FRESHNESS_DEADLINE_S};
+pub use endpoint::{ChannelStats, Delivery, TopicChannel, WRITER_ANONYMOUS};
+pub use qos::{
+    Durability, LivelinessQos, LoweredQos, QosContract, Reliability, STANDARD_FRESHNESS_DEADLINE_S,
+};
 pub use record::BusLog;
-pub use sample::{FaultKind, Payload, Sample, Tick};
+pub use sample::{FaultKind, HealthEvent, Payload, Sample, Tick};
 pub use topic::{
     BusConfig, TopicId, TopicSpec, MAX_TOPICS, TOPIC_CAPTURES, TOPIC_FAULTS, TOPIC_INSIGHTS,
     TOPIC_TELEMETRY,

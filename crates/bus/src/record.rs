@@ -19,7 +19,7 @@
 //! varint terminator and reports structured [`SudcError`]s, so a
 //! truncated or corrupted log is rejected rather than misread.
 
-use crate::sample::{FaultKind, Payload, Sample, Tick};
+use crate::sample::{FaultKind, HealthEvent, Payload, Sample, Tick};
 use sudc_errors::SudcError;
 
 const TAG_CAPTURE: u8 = 1;
@@ -31,6 +31,8 @@ const TAG_BACKLOG: u8 = 6;
 const TAG_BATCH_DISPATCHED: u8 = 7;
 const TAG_FAULT: u8 = 8;
 const TAG_FINISH: u8 = 9;
+const TAG_HEARTBEAT: u8 = 10;
+const TAG_HEALTH: u8 = 11;
 
 fn put_varint(out: &mut Vec<u8>, mut v: u64) {
     loop {
@@ -220,6 +222,18 @@ impl BusLog {
                 put_bool(out, full);
                 put_varint(out, peak_event_queue);
             }
+            Payload::Heartbeat { node } => {
+                out.push(TAG_HEARTBEAT);
+                put_varint(out, dtick);
+                put_varint(out, u64::from(node));
+            }
+            Payload::Health { event, node, value } => {
+                out.push(TAG_HEALTH);
+                put_varint(out, dtick);
+                out.push(event.wire_tag());
+                put_varint(out, u64::from(node));
+                put_varint(out, value);
+            }
         }
         self.last_tick = sample.tick;
         self.records += 1;
@@ -291,8 +305,8 @@ impl BusLog {
         let mut tick: Tick = 0;
         while c.pos < c.bytes.len() {
             let tag = c.byte("tag")?;
-            if !(TAG_CAPTURE..=TAG_FINISH).contains(&tag) {
-                return Err(c.err("tag", tag, "a known record tag (1..=9)"));
+            if !(TAG_CAPTURE..=TAG_HEALTH).contains(&tag) {
+                return Err(c.err("tag", tag, "a known record tag (1..=11)"));
             }
             tick += c.varint("dtick")?;
             let payload = match tag {
@@ -353,7 +367,21 @@ impl BusLog {
                     full: c.boolean("full")?,
                     peak_event_queue: c.varint("peak_event_queue")?,
                 },
-                other => return Err(c.err("tag", other, "a known record tag (1..=9)")),
+                TAG_HEARTBEAT => Payload::Heartbeat {
+                    node: c.varint_u32("node")?,
+                },
+                TAG_HEALTH => {
+                    let raw = c.byte("health event")?;
+                    let event = HealthEvent::from_wire_tag(raw).ok_or_else(|| {
+                        c.err("health event", raw, "a known HealthEvent wire tag")
+                    })?;
+                    Payload::Health {
+                        event,
+                        node: c.varint_u32("node")?,
+                        value: c.varint("value")?,
+                    }
+                }
+                other => return Err(c.err("tag", other, "a known record tag (1..=11)")),
             };
             f(&Sample { tick, payload });
         }
@@ -457,6 +485,26 @@ mod tests {
                 payload: Payload::Delivered { capture: 5 },
             },
             Sample {
+                tick: 93,
+                payload: Payload::Heartbeat { node: 7 },
+            },
+            Sample {
+                tick: 95,
+                payload: Payload::Health {
+                    event: HealthEvent::Dead,
+                    node: 7,
+                    value: 120,
+                },
+            },
+            Sample {
+                tick: 95,
+                payload: Payload::Health {
+                    event: HealthEvent::Readmit,
+                    node: 2,
+                    value: 0,
+                },
+            },
+            Sample {
                 tick: 100,
                 payload: Payload::Finish {
                     busy: 0,
@@ -535,6 +583,14 @@ mod tests {
                 filtered: true,
             }
         );
+    }
+
+    #[test]
+    fn unknown_health_event_tags_are_rejected() {
+        // TAG_HEALTH: tag, dtick=0, event tag beyond HealthEvent::ALL.
+        let bad = [TAG_HEALTH, 0, HealthEvent::ALL.len() as u8, 0, 0];
+        let err = BusLog::try_from_bytes(&bad).unwrap_err();
+        assert!(err.violations()[0].path.contains("health event"));
     }
 
     #[test]

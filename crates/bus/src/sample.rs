@@ -75,6 +75,49 @@ impl FaultKind {
     }
 }
 
+/// State transition published by the closed-loop health plane
+/// (`sudc-health`) for one monitored compute node. Like [`FaultKind`],
+/// the mapping onto run counters lives with the subscriber.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthEvent {
+    /// The failure detector moved the node to SUSPECT (missed leases
+    /// reached the suspicion threshold).
+    Suspect,
+    /// A suspected node heartbeated again before being declared dead —
+    /// a false suspicion (it was alive all along).
+    FalseSuspect,
+    /// The detector declared the node DEAD and quarantined it; the
+    /// payload's `value` carries the detection latency in ticks.
+    Dead,
+    /// A quarantined node completed its readmission probation.
+    Readmit,
+}
+
+impl HealthEvent {
+    /// All events, in wire-tag order (see `record.rs`).
+    pub const ALL: [HealthEvent; 4] = [
+        HealthEvent::Suspect,
+        HealthEvent::FalseSuspect,
+        HealthEvent::Dead,
+        HealthEvent::Readmit,
+    ];
+
+    /// Stable wire tag for the binary log.
+    #[must_use]
+    pub fn wire_tag(self) -> u8 {
+        Self::ALL
+            .iter()
+            .position(|k| *k == self)
+            .expect("every event is in ALL") as u8
+    }
+
+    /// Inverse of [`HealthEvent::wire_tag`].
+    #[must_use]
+    pub fn from_wire_tag(tag: u8) -> Option<Self> {
+        Self::ALL.get(usize::from(tag)).copied()
+    }
+}
+
 /// One typed message on the bus.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Payload {
@@ -155,6 +198,23 @@ pub enum Payload {
         /// How many times it happened at this tick (coalesced).
         count: u64,
     },
+    /// Liveliness heartbeat: powered compute node `node` asserted its
+    /// writer lease on the telemetry topic (health plane only).
+    Heartbeat {
+        /// Index of the heartbeating node.
+        node: u32,
+    },
+    /// Health-plane state transition for node `node`; `value` carries
+    /// the transition's measurement (detection latency in ticks for
+    /// [`HealthEvent::Dead`], 0 otherwise).
+    Health {
+        /// What the detector decided.
+        event: HealthEvent,
+        /// Index of the affected node.
+        node: u32,
+        /// Transition measurement (detection latency ticks for `Dead`).
+        value: u64,
+    },
 }
 
 impl Payload {
@@ -168,8 +228,9 @@ impl Payload {
             | Payload::QueueDepth { .. }
             | Payload::Backlog { .. }
             | Payload::BatchDispatched { .. }
-            | Payload::Finish { .. } => TOPIC_TELEMETRY,
-            Payload::Fault { .. } => TOPIC_FAULTS,
+            | Payload::Finish { .. }
+            | Payload::Heartbeat { .. } => TOPIC_TELEMETRY,
+            Payload::Fault { .. } | Payload::Health { .. } => TOPIC_FAULTS,
         }
     }
 }
@@ -193,6 +254,31 @@ mod tests {
             assert_eq!(FaultKind::from_wire_tag(kind.wire_tag()), Some(kind));
         }
         assert_eq!(FaultKind::from_wire_tag(FaultKind::ALL.len() as u8), None);
+    }
+
+    #[test]
+    fn health_wire_tags_roundtrip() {
+        for event in HealthEvent::ALL {
+            assert_eq!(HealthEvent::from_wire_tag(event.wire_tag()), Some(event));
+        }
+        assert_eq!(
+            HealthEvent::from_wire_tag(HealthEvent::ALL.len() as u8),
+            None
+        );
+    }
+
+    #[test]
+    fn health_payloads_route_to_their_topics() {
+        assert_eq!(Payload::Heartbeat { node: 3 }.topic(), TOPIC_TELEMETRY);
+        assert_eq!(
+            Payload::Health {
+                event: HealthEvent::Dead,
+                node: 3,
+                value: 120
+            }
+            .topic(),
+            TOPIC_FAULTS
+        );
     }
 
     #[test]

@@ -21,6 +21,10 @@
 //!   replication grid, run as one flat parallel batch with common random
 //!   numbers so every cell is comparable and the bytes are identical at
 //!   any thread count.
+//! - [`health`] — [`health::HealthReport`]: every campaign run twice with
+//!   the `sudc-health` failure detector — monitor-only vs closed-loop —
+//!   at equal spares, pricing what detection latency costs and what
+//!   closing the recovery loop buys back.
 //!
 //! # Examples
 //!
@@ -45,8 +49,10 @@
 #![warn(missing_docs)]
 
 pub mod campaign;
+pub mod health;
 pub mod report;
 
 pub use campaign::{Campaign, IslFlapSpec, PolicySpec, StormSpec};
+pub use health::{HealthCell, HealthReport};
 pub use report::{ChaosCell, ChaosSummary, CLAIM4_AVAILABILITY_TARGET};
 pub use sudc_errors::{Diagnostics, SudcError, Violation};

@@ -133,6 +133,15 @@ pub struct RouterConfig {
     /// of sharding them across workers, since block `b+1`'s input depends
     /// on block `b`'s verdicts.
     pub readmit_deferred: bool,
+    /// Per-block SµDC compute-pool fractions from the health plane's
+    /// degraded-mode accounting (`sudc_health::PoolTimeline`): block `b`
+    /// budgets `sudc_capacity_gbit_per_s * sudc_pool_fraction[b]` for
+    /// orbital placement, so a fleet the failure detector has declared
+    /// degraded re-prices orbit-vs-ground live. Empty (the default)
+    /// means a full pool everywhere; blocks past the end hold the last
+    /// sampled fraction (the fleet stays degraded until the next
+    /// observation says otherwise).
+    pub sudc_pool_fraction: Vec<f64>,
 }
 
 impl RouterConfig {
@@ -323,6 +332,7 @@ impl RouterConfig {
             sudc_capacity_gbit_per_s: sudc_capacity,
             onboard_max_gbit: image_gbit,
             readmit_deferred: false,
+            sudc_pool_fraction: Vec::new(),
         })
     }
 
@@ -364,6 +374,49 @@ impl RouterConfig {
         Ok(self)
     }
 
+    /// Installs the health plane's per-block degraded-pool fractions
+    /// (e.g. `sudc_health::PoolTimeline::try_fractions` over a recorded
+    /// fault stream). Each block's SµDC ingest budget scales by its
+    /// fraction; ground tiers keep their full capacity, so degradation
+    /// pushes marginal work groundward exactly as the paper's
+    /// orbit-vs-ground economics dictate.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SudcError`] naming each fraction outside `[0, 1]` or
+    /// non-finite, and rejecting an empty slice (use the default config
+    /// for a full pool).
+    pub fn try_with_degraded_pools(mut self, fractions: &[f64]) -> Result<Self, SudcError> {
+        let mut d = Diagnostics::new("RouterConfig::try_with_degraded_pools");
+        d.ensure(
+            !fractions.is_empty(),
+            "fractions.len()",
+            fractions.len(),
+            "at least one block fraction",
+        );
+        for (b, &f) in fractions.iter().enumerate() {
+            d.unit_interval(format!("fractions[{b}]"), f);
+        }
+        d.finish()?;
+        self.sudc_pool_fraction = fractions.to_vec();
+        self.try_validate()?;
+        Ok(self)
+    }
+
+    /// The SµDC pool fraction block `b` routes against: 1 with no
+    /// degraded-pool table installed, otherwise the block's entry
+    /// (clamped to the last entry past the sampled horizon).
+    #[must_use]
+    pub fn pool_fraction(&self, block: u64) -> f64 {
+        match self.sudc_pool_fraction.as_slice() {
+            [] => 1.0,
+            table => {
+                let idx = (block as usize).min(table.len() - 1);
+                table[idx]
+            }
+        }
+    }
+
     /// Validates every table entry, collecting all violations.
     ///
     /// # Errors
@@ -394,6 +447,9 @@ impl RouterConfig {
         }
         for (b, w) in self.lat_wait_s.iter().enumerate() {
             d.non_negative(format!("lat_wait_s[{b}]"), *w);
+        }
+        for (b, f) in self.sudc_pool_fraction.iter().enumerate() {
+            d.unit_interval(format!("sudc_pool_fraction[{b}]"), *f);
         }
         d.finish()
     }
@@ -511,6 +567,43 @@ mod tests {
         // stays below the WAN fraction of the edge's all-in rate, which
         // requires the cloud compute residual to undercut the edge's.
         assert!(cloud - edge < edge * CLOUD_WAN_COST_FRACTION);
+    }
+
+    #[test]
+    fn degraded_pools_validate_and_clamp_past_the_horizon() {
+        let cfg = RouterConfig::reference()
+            .try_with_degraded_pools(&[1.0, 0.5, 0.75])
+            .expect("valid fractions");
+        assert_eq!(cfg.pool_fraction(0), 1.0);
+        assert_eq!(cfg.pool_fraction(1), 0.5);
+        // Past the sampled horizon the fleet stays at the last
+        // observation.
+        assert_eq!(cfg.pool_fraction(2), 0.75);
+        assert_eq!(cfg.pool_fraction(99), 0.75);
+        // No table installed means a full pool everywhere.
+        assert_eq!(RouterConfig::reference().pool_fraction(7), 1.0);
+    }
+
+    #[test]
+    fn degraded_pools_reject_hostile_fractions() {
+        for bad in [
+            [1.0, -0.1],
+            [0.5, 1.5],
+            [f64::NAN, 0.5],
+            [0.5, f64::INFINITY],
+        ] {
+            let err = RouterConfig::reference()
+                .try_with_degraded_pools(&bad)
+                .unwrap_err();
+            assert!(
+                err.to_string().contains("fractions[1]")
+                    || err.to_string().contains("fractions[0]"),
+                "{err}"
+            );
+        }
+        assert!(RouterConfig::reference()
+            .try_with_degraded_pools(&[])
+            .is_err());
     }
 
     #[test]

@@ -395,7 +395,11 @@ impl Router {
         // SµDC's compute-ingest rate.
         let span_s = requests.len() as f64 / stream.arrival_per_s;
         let mut ground_budget = self.cfg.ground_capacity_gbit_per_s * span_s;
-        let mut sudc_budget = self.cfg.sudc_capacity_gbit_per_s * span_s;
+        // The health plane's observed pool shrinks this block's compute
+        // ingest: a degraded SµDC keeps its ground capacity but can
+        // accept proportionally less orbital work.
+        let mut sudc_budget =
+            self.cfg.sudc_capacity_gbit_per_s * span_s * self.cfg.pool_fraction(b);
         stats.ground_budget_gbit = ground_budget;
 
         // Batch scoring: four memoized tier evaluations per request.
@@ -649,6 +653,89 @@ mod tests {
             let after = readmitting.route_stream(&stream);
             assert!(after.stats.placed >= before.stats.placed);
         }
+    }
+
+    #[test]
+    fn degraded_pools_push_work_off_the_sudc_at_equal_demand() {
+        // Same stream, same pricing, same ground capacity — only the
+        // health plane's observed compute pool shrinks. The SµDC tier
+        // must lose placements and the rest of the accounting must stay
+        // exact.
+        let full = Router::reference();
+        let degraded = Router::new(
+            RouterConfig::reference()
+                .try_with_degraded_pools(&[0.25])
+                .expect("valid fractions"),
+        );
+        let mut stream = small_stream();
+        stream.arrival_per_s = 1.4 * 30.0; // budgets bind
+        let before = full.route_stream(&stream);
+        let after = degraded.route_stream(&stream);
+        let sudc = Tier::OrbitalSudc.index();
+        assert!(before.stats.tier_counts[sudc] > 0, "budget must bind");
+        assert!(
+            after.stats.tier_counts[sudc] < before.stats.tier_counts[sudc],
+            "degraded pool must shed SµDC work: {} -> {}",
+            before.stats.tier_counts[sudc],
+            after.stats.tier_counts[sudc]
+        );
+        assert!(
+            (after.stats.ground_budget_gbit - before.stats.ground_budget_gbit).abs() < 1e-6,
+            "ground capacity untouched"
+        );
+        let s = &after.stats;
+        assert_eq!(s.placed + s.deferred + s.rejected + s.shed, s.requests);
+
+        // Degradation composes with deferral re-entry: the sequential
+        // readmitting path over the same shrunken pool still accounts
+        // exactly and can only improve the accepted mix.
+        let mut cfg = RouterConfig::reference()
+            .try_with_degraded_pools(&[0.25])
+            .unwrap();
+        cfg.readmit_deferred = true;
+        let readmitted = Router::new(cfg).route_stream(&stream);
+        let s = &readmitted.stats;
+        assert_eq!(s.placed + s.deferred + s.rejected + s.shed, s.requests);
+        assert!(readmitted.stats.placed >= after.stats.placed);
+    }
+
+    #[test]
+    fn health_observed_degradation_re_prices_the_stream() {
+        // The full loop: a chaos campaign kills nodes, the health plane
+        // detects them on the bus, the recorded verdict stream becomes a
+        // pool timeline, and its per-block fractions re-price the
+        // router's orbit-vs-ground placement.
+        use sudc_chaos::Campaign;
+        use sudc_health::{HealthConfig, PoolTimeline};
+        use sudc_units::Seconds;
+
+        let duration = Seconds::new(3600.0);
+        let cfg = Campaign::independent(duration)
+            .apply(&sudc_sim::SimConfig::reference_operations(duration))
+            .with_health(HealthConfig::standard());
+        let (trace, log) = sudc_sim::run_recorded(&cfg, 9);
+        assert!(trace.detections > 0, "campaign must kill and be detected");
+        let timeline = PoolTimeline::try_from_log(&log, cfg.required).unwrap();
+        assert!(timeline.min_alive() < cfg.required);
+
+        let mut stream = small_stream();
+        stream.arrival_per_s = 1.4 * 30.0;
+        let fractions = timeline.try_fractions(stream.blocks() as usize).unwrap();
+        assert!(fractions.iter().any(|f| *f < 1.0));
+        let degraded = Router::new(
+            RouterConfig::reference()
+                .try_with_degraded_pools(&fractions)
+                .expect("observed fractions are valid"),
+        );
+        let before = Router::reference().route_stream(&stream);
+        let after = degraded.route_stream(&stream);
+        let sudc = Tier::OrbitalSudc.index();
+        assert!(
+            after.stats.tier_counts[sudc] <= before.stats.tier_counts[sudc],
+            "a shrunken observed pool never gains SµDC work"
+        );
+        let s = &after.stats;
+        assert_eq!(s.placed + s.deferred + s.rejected + s.shed, s.requests);
     }
 
     #[test]

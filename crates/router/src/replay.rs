@@ -73,29 +73,43 @@ impl RoutedLoad {
         };
         cfg.try_validate()?;
         let traces = try_replicate(&cfg, reps, seed)?;
-        let slo_deadline = Seconds::new(STANDARD_FRESHNESS_DEADLINE_S);
-        let slo_attainment = traces
-            .iter()
-            .map(|t| t.delivery_within(slo_deadline))
-            .sum::<f64>()
-            / traces.len() as f64;
-        let summary = SimSummary::try_from_traces(traces)?;
-        let delivered_fraction = summary
-            .traces()
-            .iter()
-            .map(sudc_sim::RunTrace::delivered_fraction)
-            .sum::<f64>()
-            / summary.traces().len() as f64;
-        Ok(ReplayReport {
-            campaign: campaign.map(|c| c.name).unwrap_or("nominal"),
-            sudc_share: self.sudc_share,
-            reps,
-            slo_deadline_s: STANDARD_FRESHNESS_DEADLINE_S,
-            slo_attainment,
-            mean_availability: summary.mean_availability,
-            delivered_fraction,
-            mean_delivery_p99_s: summary.mean_delivery_p99,
-        })
+        ReplayReport::try_from_traces(
+            campaign.map(|c| c.name).unwrap_or("nominal"),
+            self.sudc_share,
+            traces,
+        )
+    }
+
+    /// Re-audits a recorded topic stream ([`RoutedLoad::try_record`]'s
+    /// log) without re-running the kernel: the log is folded back into a
+    /// trace with [`sudc_sim::replay`] and summarized through exactly
+    /// the aggregation [`RoutedLoad::try_replay`] uses, so the audit of
+    /// the log is byte-equal to the audit of the live run. `duration`
+    /// and `campaign` must match the recording.
+    ///
+    /// # Errors
+    ///
+    /// Returns the sim configuration's validation diagnostics if the
+    /// induced scenario is invalid, or a log-format error if the stream
+    /// is malformed.
+    pub fn try_replay_from_log(
+        &self,
+        duration: Seconds,
+        campaign: Option<&Campaign>,
+        log: &BusLog,
+    ) -> Result<ReplayReport, SudcError> {
+        let base = self.sim_config(duration);
+        let cfg = match campaign {
+            Some(c) => c.apply(&base),
+            None => base,
+        };
+        cfg.try_validate()?;
+        let trace = sudc_sim::replay(&cfg, log)?;
+        ReplayReport::try_from_traces(
+            campaign.map(|c| c.name).unwrap_or("nominal"),
+            self.sudc_share,
+            vec![trace],
+        )
     }
 
     /// Runs one seeded replication of the induced scenario with the
@@ -167,6 +181,53 @@ pub struct ReplayReport {
 }
 
 impl ReplayReport {
+    /// Aggregates measured traces into the audit record — the single
+    /// summarization path shared by the live ([`RoutedLoad::try_replay`])
+    /// and from-log ([`RoutedLoad::try_replay_from_log`]) routes, which
+    /// is what makes the two audits byte-comparable.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SudcError`] if `traces` is empty or fails
+    /// [`SimSummary::try_from_traces`].
+    pub fn try_from_traces(
+        campaign: &'static str,
+        sudc_share: f64,
+        traces: Vec<RunTrace>,
+    ) -> Result<Self, SudcError> {
+        let reps = u32::try_from(traces.len()).map_err(|_| {
+            SudcError::single(
+                "ReplayReport::try_from_traces",
+                "traces.len()",
+                traces.len(),
+                "at most u32::MAX traces",
+            )
+        })?;
+        let slo_deadline = Seconds::new(STANDARD_FRESHNESS_DEADLINE_S);
+        let slo_attainment = traces
+            .iter()
+            .map(|t| t.delivery_within(slo_deadline))
+            .sum::<f64>()
+            / traces.len() as f64;
+        let summary = SimSummary::try_from_traces(traces)?;
+        let delivered_fraction = summary
+            .traces()
+            .iter()
+            .map(sudc_sim::RunTrace::delivered_fraction)
+            .sum::<f64>()
+            / summary.traces().len() as f64;
+        Ok(Self {
+            campaign,
+            sudc_share,
+            reps,
+            slo_deadline_s: STANDARD_FRESHNESS_DEADLINE_S,
+            slo_attainment,
+            mean_availability: summary.mean_availability,
+            delivered_fraction,
+            mean_delivery_p99_s: summary.mean_delivery_p99,
+        })
+    }
+
     /// JSON object for `BENCH_router.json` and the figures runner.
     #[must_use]
     pub fn to_json(&self) -> Json {
@@ -234,6 +295,33 @@ mod tests {
         assert!(log.records() > 0);
         let cfg = storm.apply(&load.sim_config(duration));
         assert_eq!(sudc_sim::replay(&cfg, &log).expect("replay"), trace);
+    }
+
+    #[test]
+    fn replayed_routing_audit_is_byte_equal_to_live() {
+        let load = routed_load();
+        let duration = Seconds::new(1800.0);
+        let storm = Campaign::solar_storm(duration);
+        let (trace, log) = load
+            .try_record(duration, sudc_sim::DEFAULT_SEED, Some(&storm))
+            .expect("recorded run");
+        let live = ReplayReport::try_from_traces(storm.name, load.sudc_share, vec![trace])
+            .expect("live audit");
+        let audited = load
+            .try_replay_from_log(duration, Some(&storm), &log)
+            .expect("from-log audit");
+        assert_eq!(live, audited);
+        assert_eq!(
+            live.to_json().to_string_pretty(),
+            audited.to_json().to_string_pretty()
+        );
+        // The nominal path closes the same loop without a campaign.
+        let (trace, log) = load
+            .try_record(duration, 7, None)
+            .expect("nominal recording");
+        let live = ReplayReport::try_from_traces("nominal", load.sudc_share, vec![trace]).unwrap();
+        let audited = load.try_replay_from_log(duration, None, &log).unwrap();
+        assert_eq!(live, audited);
     }
 
     #[test]

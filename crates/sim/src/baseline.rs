@@ -239,6 +239,9 @@ impl<'a> Kernel<'a> {
                 Event::IslLinkUp { link } => self.on_isl_link_up(link),
                 Event::StormStart => self.on_storm_start(),
                 Event::Retry { capture, attempt } => self.on_retry(capture, attempt),
+                // The frozen baseline predates the health plane; it only
+                // runs with `health: None`, which never schedules a scan.
+                Event::HealthScan => unreachable!("baseline runs without a health plane"),
             }
         }
         self.trace.peak_event_queue = self.queue.peak_len();

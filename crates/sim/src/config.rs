@@ -13,6 +13,7 @@ use sudc_constellation::EdgeFiltering;
 use sudc_core::dynamics::DynamicScenario;
 use sudc_core::Scenario;
 use sudc_errors::{Diagnostics, SudcError};
+use sudc_health::HealthConfig;
 use sudc_units::Seconds;
 
 use crate::event::Tick;
@@ -77,6 +78,14 @@ pub struct SimConfig {
     /// Opt-in fault injection (`None` = the exact baseline kernel: same
     /// random draws, same event schedule, bit-identical traces).
     pub faults: Option<FaultConfig>,
+
+    /// Opt-in closed-loop health plane (`None` = the exact baseline
+    /// kernel with oracle spare promotion: no heartbeats, no detector,
+    /// bit-identical traces). With a config set, powered nodes
+    /// heartbeat every lease, the `sudc-health` failure detector runs
+    /// at the same cadence, and — in closed-loop mode — cold spares
+    /// are promoted only when the detector declares a node DEAD.
+    pub health: Option<HealthConfig>,
 }
 
 impl SimConfig {
@@ -139,6 +148,7 @@ impl SimConfig {
             contact_window_ticks: (ticks(d.contact_window.value()).round() as Tick).max(1),
             downlink_transfer_ticks: ticks(d.insight_size.value() / d.downlink_rate.value()),
             faults: None,
+            health: None,
         };
         cfg.try_validate()?;
         Ok(cfg)
@@ -249,6 +259,7 @@ impl SimConfig {
             contact_window_ticks: 1,
             downlink_transfer_ticks: 0.0,
             faults: None,
+            health: None,
         })
     }
 
@@ -301,6 +312,14 @@ impl SimConfig {
     #[must_use]
     pub fn with_faults(mut self, faults: FaultConfig) -> Self {
         self.faults = Some(faults);
+        self
+    }
+
+    /// Returns this configuration with the closed-loop health plane
+    /// enabled.
+    #[must_use]
+    pub fn with_health(mut self, health: HealthConfig) -> Self {
+        self.health = Some(health);
         self
     }
 
@@ -377,6 +396,16 @@ impl SimConfig {
         d.non_negative("downlink_transfer_ticks", self.downlink_transfer_ticks);
         if let Some(f) = &self.faults {
             f.validate_into(&mut d);
+        }
+        if let Some(h) = &self.health {
+            h.validate_into(&mut d, "health");
+            // The lease must be at least one tick, or scans never fire.
+            if self.tick_seconds > 0.0
+                && h.lease_s.is_finite()
+                && (h.lease_s / self.tick_seconds).round() < 1.0
+            {
+                d.violation("health.lease_s", h.lease_s, "a lease of at least one tick");
+            }
         }
         d.finish()
     }

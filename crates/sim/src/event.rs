@@ -105,6 +105,10 @@ pub enum Event {
         /// Reprocessing attempt number (1 = first retry).
         attempt: u32,
     },
+    /// Health-plane lease boundary: powered nodes heartbeat, the failure
+    /// detector scans for missed leases, and (in closed-loop mode) DEAD
+    /// verdicts drive spare promotion (health plane only).
+    HealthScan,
 }
 
 /// Wrapper ordering events only by their `(tick, sequence)` key; the

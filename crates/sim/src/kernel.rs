@@ -32,7 +32,8 @@
 
 use std::collections::VecDeque;
 
-use sudc_bus::{BusLog, FaultKind, Payload};
+use sudc_bus::{BusLog, FaultKind, HealthEvent, Payload};
+use sudc_health::{HealthController, LoweredHealth, ScanVerdict};
 use sudc_par::rng::Rng64;
 use sudc_reliability::weibull::WeibullLifetime;
 
@@ -97,6 +98,21 @@ struct BatchSlab {
     attempt: Vec<u32>,
     len: Vec<u32>,
     free: Vec<u32>,
+}
+
+/// The kernel's half of the health plane: the deterministic failure
+/// detector plus the ground-truth bookkeeping the sim alone can supply
+/// (actual failure ticks, for detection-latency accounting). Pure
+/// integer state machine — no RNG streams, so enabling it perturbs no
+/// draw in the baseline schedule.
+struct HealthPlane {
+    controller: HealthController,
+    lowered: LoweredHealth,
+    /// Ground-truth failure tick per node (valid while the node is dead
+    /// and undetected); drives the DEAD verdict's latency value.
+    failed_at: Vec<Tick>,
+    /// Reused verdict buffer for the per-lease scan.
+    verdicts: Vec<ScanVerdict>,
 }
 
 impl BatchSlab {
@@ -212,6 +228,12 @@ struct Kernel<'a> {
     window_blacked_out: bool,
     storm_seq: u64,
 
+    /// Closed-loop health plane (idle unless `cfg.health` is set). With
+    /// the plane active, spare promotion moves from the failure event
+    /// (an oracle with zero detection latency) to the detector's DEAD
+    /// declaration — or, in monitor-only mode, nowhere at all.
+    health: Option<HealthPlane>,
+
     // Node health (struct-of-arrays: index = node id; the spare pool is
     // a pair of parallel deques sharing one order).
     node_state: Vec<NodeState>,
@@ -275,6 +297,17 @@ impl<'a> Kernel<'a> {
             retried_in_queue: 0,
             slab: BatchSlab::new(cfg.batch_target as usize),
             busy_nodes: 0,
+            health: cfg.health.as_ref().map(|h| {
+                let lowered = h
+                    .try_lower(cfg.tick_seconds)
+                    .expect("validated config lowers");
+                HealthPlane {
+                    controller: HealthController::new(cfg.nodes, cfg.required, lowered),
+                    lowered,
+                    failed_at: vec![0; cfg.nodes as usize],
+                    verdicts: Vec::new(),
+                }
+            }),
             node_state: Vec::new(),
             spare_id: VecDeque::new(),
             spare_life: VecDeque::new(),
@@ -361,6 +394,12 @@ impl<'a> Kernel<'a> {
         if let Some(storm) = self.cfg.faults.and_then(|f| f.storm) {
             self.queue.push(storm.offset_ticks, Event::StormStart);
         }
+
+        // Health plane: the first lease boundary. Nothing is seeded with
+        // the plane disabled, so the baseline schedule is untouched.
+        if let Some(hp) = &self.health {
+            self.queue.push(hp.lowered.lease_ticks, Event::HealthScan);
+        }
     }
 
     fn run(mut self) -> BusRun {
@@ -412,6 +451,7 @@ impl<'a> Kernel<'a> {
                     Event::IslLinkUp { link } => self.on_isl_link_up(link),
                     Event::StormStart => self.on_storm_start(),
                     Event::Retry { capture, attempt } => self.on_retry(capture, attempt),
+                    Event::HealthScan => self.on_health_scan(),
                 }
             }
         }
@@ -840,7 +880,15 @@ impl<'a> Kernel<'a> {
                 count: 1,
             },
         );
-        self.promote_spare();
+        if let Some(hp) = &mut self.health {
+            // With the health plane active, recovery waits for the
+            // detector: the node simply falls silent here, and promotion
+            // (if any) happens at the DEAD declaration in
+            // `on_health_scan`. Record ground truth for the latency.
+            hp.failed_at[node as usize] = self.now;
+        } else {
+            self.promote_spare();
+        }
         // Lost capacity never cancels in-flight batches (they complete on
         // the failing node's redundant pair); new dispatches see the
         // reduced capacity via `capacity()`.
@@ -849,8 +897,9 @@ impl<'a> Kernel<'a> {
 
     /// Promotes the oldest cold spare whose dormant aging has not already
     /// consumed its life. Dormant time ages at `dormant_aging` of the
-    /// powered rate, and promotion spends whatever life remains.
-    fn promote_spare(&mut self) {
+    /// powered rate, and promotion spends whatever life remains. Returns
+    /// the promoted node, or `None` if the spare pool ran dry.
+    fn promote_spare(&mut self) -> Option<u32> {
         while let Some(spare) = self.spare_id.pop_front() {
             let life = self.spare_life.pop_front().expect("parallel spare deques");
             let dormant_consumed = if self.cfg.mttf_ticks.is_finite() {
@@ -885,8 +934,9 @@ impl<'a> Kernel<'a> {
                     Event::NodeFailure { node: spare },
                 );
             }
-            break;
+            return Some(spare);
         }
+        None
     }
 
     /// A solar-storm window opens: every powered node faces an independent
@@ -933,9 +983,79 @@ impl<'a> Kernel<'a> {
                         count: 1,
                     },
                 );
-                self.promote_spare();
+                if let Some(hp) = &mut self.health {
+                    // As in `on_node_failure`: the detector, not the
+                    // storm event, decides when recovery starts.
+                    hp.failed_at[node as usize] = self.now;
+                } else {
+                    self.promote_spare();
+                }
             }
         }
+        self.try_dispatch();
+    }
+
+    /// One lease boundary of the health plane: every powered healthy
+    /// node heartbeats on `ops/telemetry`, then the detector scans for
+    /// missed leases and publishes its verdicts on `ops/faults`. In
+    /// closed-loop mode each DEAD declaration immediately promotes a
+    /// cold spare (so detection latency *is* promotion latency); in
+    /// monitor-only mode verdicts are published but nothing recovers.
+    fn on_health_scan(&mut self) {
+        let Some(mut hp) = self.health.take() else {
+            return;
+        };
+        for node in 0..self.cfg.nodes {
+            if self.node_state[node as usize] != NodeState::PoweredAlive {
+                continue;
+            }
+            self.plane.publish(self.now, Payload::Heartbeat { node });
+            if let Some(event) = hp.controller.heartbeat(node, self.now) {
+                // FALSE-SUSPECT exoneration or probation readmission.
+                self.plane.publish(
+                    self.now,
+                    Payload::Health {
+                        event,
+                        node,
+                        value: 0,
+                    },
+                );
+            }
+        }
+        // Scan *after* the heartbeats of the same tick, so a live node's
+        // on-time heartbeat always refreshes its lease before the
+        // silence check — zero false suspicions in a fault-free run.
+        let mut verdicts = std::mem::take(&mut hp.verdicts);
+        hp.controller.scan(self.now, &mut verdicts);
+        for v in &verdicts {
+            let value = if v.event == HealthEvent::Dead {
+                self.now - hp.failed_at[v.node as usize]
+            } else {
+                0
+            };
+            self.plane.publish(
+                self.now,
+                Payload::Health {
+                    event: v.event,
+                    node: v.node,
+                    value,
+                },
+            );
+            if v.event == HealthEvent::Dead && hp.lowered.closed_loop {
+                if let Some(promoted) = self.promote_spare() {
+                    // The spare enters monitored service with a fresh
+                    // lease clock.
+                    hp.controller.watch(promoted, self.now);
+                }
+            }
+        }
+        verdicts.clear();
+        hp.verdicts = verdicts;
+        let next = self.now + hp.lowered.lease_ticks;
+        if next <= self.cfg.duration_ticks {
+            self.queue.push(next, Event::HealthScan);
+        }
+        self.health = Some(hp);
         self.try_dispatch();
     }
 
@@ -1240,6 +1360,80 @@ mod tests {
         let t = run(&cfg, 3);
         assert!(t.shed_batch_overflow > 0, "a 2-deep queue must overflow");
         assert!(t.max_batch_queue() <= 2);
+    }
+
+    #[test]
+    fn fault_free_health_runs_never_suspect_anyone() {
+        let cfg = SimConfig::reference_operations(Seconds::new(1800.0))
+            .with_health(sudc_health::HealthConfig::standard());
+        let t = run(&cfg, 7);
+        assert!(t.health_enabled());
+        assert!(t.heartbeats > 0, "powered nodes must heartbeat");
+        assert_eq!(t.suspects, 0, "no suspicion without a missed lease");
+        assert_eq!(t.false_suspects, 0);
+        assert_eq!(t.detections, 0);
+        assert!((t.availability() - 1.0).abs() < 1e-12);
+        // The health plane never touches an RNG stream: the pipeline
+        // trajectory matches the health-free run of the same seed.
+        let base = run(&SimConfig::reference_operations(Seconds::new(1800.0)), 7);
+        assert_eq!(t.captured, base.captured);
+        assert_eq!(t.delivered, base.delivered);
+    }
+
+    /// A cold-spare mission with a lease the detector can resolve on the
+    /// mission's coarse (one MTTF = 100k ticks) clock.
+    fn health_mission(closed_loop: bool) -> SimConfig {
+        let cfg = SimConfig::cold_spare_mission(20, 10, 0.1, 2.0);
+        let mut h = sudc_health::HealthConfig::standard();
+        h.lease_s = cfg.tick_seconds * 50.0;
+        h.closed_loop = closed_loop;
+        cfg.with_health(h)
+    }
+
+    #[test]
+    fn closed_loop_detection_drives_promotion_with_latency() {
+        let t = run(&health_mission(true), 11);
+        assert!(t.failures > 0, "two MTTFs of exponential nodes must fail");
+        assert!(t.detections > 0, "failures must be detected");
+        assert!(t.promotions > 0, "DEAD declarations must promote spares");
+        assert!(t.promotions <= t.detections);
+        assert_eq!(t.false_suspects, 0, "dead nodes stay silent");
+        // Silence is measured from the last *heartbeat*, which can be up
+        // to one lease before the failure: the latency floor is
+        // `dead_missed - 1` whole leases.
+        let floor = t.tick_seconds() * 50.0 * 3.0;
+        assert!(
+            t.detection_latency().p50 >= floor,
+            "p50 {} < floor {floor}",
+            t.detection_latency().p50
+        );
+    }
+
+    #[test]
+    fn monitor_only_never_promotes_and_costs_availability() {
+        let on = run(&health_mission(true), 11);
+        let off = run(&health_mission(false), 11);
+        // Same seed, same lifetime draws — but the closed loop powers
+        // spares that can then fail in turn, so it sees *at least* the
+        // monitor-only run's failures.
+        assert!(off.failures > 0);
+        assert!(on.failures >= off.failures);
+        assert_eq!(off.promotions, 0, "monitor-only must not actuate");
+        assert!(off.detections > 0, "the detector still observes");
+        assert!(
+            on.availability() > off.availability(),
+            "closed loop {} must beat monitor-only {}",
+            on.availability(),
+            off.availability()
+        );
+    }
+
+    #[test]
+    fn health_runs_replay_byte_identically() {
+        let (trace, log) = run_recorded(&health_mission(true), 13);
+        assert!(trace.detections > 0);
+        let replayed = crate::plane::replay(&health_mission(true), &log).unwrap();
+        assert_eq!(replayed, trace);
     }
 
     #[test]

@@ -308,6 +308,22 @@ pub struct RunTrace {
     /// the pre-fault-injection format.
     faults_enabled: bool,
 
+    /// Heartbeats the failure detector observed (health plane only).
+    pub heartbeats: u64,
+    /// ALIVE → SUSPECT transitions declared by the detector.
+    pub suspects: u64,
+    /// SUSPECT nodes exonerated by a late heartbeat.
+    pub false_suspects: u64,
+    /// SUSPECT → DEAD declarations (quarantines).
+    pub detections: u64,
+    /// Quarantined nodes readmitted after probation.
+    pub readmissions: u64,
+    /// Whether the closed-loop health plane was configured. Gates the
+    /// `health` JSON block so health-free artifacts stay byte-identical
+    /// to the pre-health-plane format.
+    health_enabled: bool,
+    detection_latencies: LatencyHist,
+
     /// Events the kernel loop handled (throughput diagnostic; never
     /// serialized, so artifacts are unchanged by its presence).
     pub events: u64,
@@ -357,6 +373,13 @@ impl RunTrace {
             isl_flaps: 0,
             blackout_windows: 0,
             faults_enabled: cfg.faults.is_some(),
+            heartbeats: 0,
+            suspects: 0,
+            false_suspects: 0,
+            detections: 0,
+            readmissions: 0,
+            health_enabled: cfg.health.is_some(),
+            detection_latencies: LatencyHist::default(),
             events: 0,
             peak_event_queue: 0,
             processing_latencies: LatencyHist::default(),
@@ -421,6 +444,10 @@ impl RunTrace {
 
     pub(crate) fn record_delivery_latency(&mut self, ticks: Tick) {
         self.delivery_latencies.record(ticks);
+    }
+
+    pub(crate) fn record_detection_latency(&mut self, ticks: Tick) {
+        self.detection_latencies.record(ticks);
     }
 
     pub(crate) fn note_batch_queue_len(&mut self, len: usize) {
@@ -550,6 +577,30 @@ impl RunTrace {
         self.faults_enabled
     }
 
+    /// Whether the closed-loop health plane was configured for this run.
+    #[must_use]
+    pub fn health_enabled(&self) -> bool {
+        self.health_enabled
+    }
+
+    /// Ground-truth failure → DEAD declaration latency statistics
+    /// (health plane only; empty otherwise).
+    #[must_use]
+    pub fn detection_latency(&self) -> LatencySummary {
+        self.detection_latencies.summary(self.tick_seconds)
+    }
+
+    /// Fraction of the detector's suspicions that a live node later
+    /// refuted (0 when nothing was ever suspected — a clean detector).
+    #[must_use]
+    pub fn false_suspicion_rate(&self) -> f64 {
+        if self.suspects == 0 {
+            0.0
+        } else {
+            self.false_suspects as f64 / self.suspects as f64
+        }
+    }
+
     /// Backlog-age statistics over the periodic samples, seconds (empty
     /// pipeline samples count as age 0).
     #[must_use]
@@ -635,6 +686,20 @@ impl RunTrace {
                     .with("storm_node_kills", Json::try_from(self.storm_node_kills)?)
                     .with("isl_flaps", Json::try_from(self.isl_flaps)?)
                     .with("blackout_windows", Json::try_from(self.blackout_windows)?),
+            );
+        }
+        // Likewise, only health-plane runs carry the health block.
+        if self.health_enabled {
+            json = json.with(
+                "health",
+                Json::object()
+                    .with("heartbeats", Json::try_from(self.heartbeats)?)
+                    .with("suspects", Json::try_from(self.suspects)?)
+                    .with("false_suspects", Json::try_from(self.false_suspects)?)
+                    .with("detections", Json::try_from(self.detections)?)
+                    .with("readmissions", Json::try_from(self.readmissions)?)
+                    .with("false_suspicion_rate", self.false_suspicion_rate())
+                    .with("detection_latency", self.detection_latency().try_to_json()?),
             );
         }
         Ok(json)

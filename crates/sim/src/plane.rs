@@ -15,7 +15,9 @@
 //! byte, without re-executing the kernel — the foundation for shipping
 //! topic streams across process (or shard) boundaries.
 
-use sudc_bus::{Bus, BusConfig, BusLog, BusStats, FaultKind, Payload, Sample, Subscriber, TopicId};
+use sudc_bus::{
+    Bus, BusConfig, BusLog, BusStats, FaultKind, HealthEvent, Payload, Sample, Subscriber, TopicId,
+};
 use sudc_errors::SudcError;
 
 use crate::config::SimConfig;
@@ -142,6 +144,19 @@ impl TraceBuilder {
                 }
                 FaultKind::IslFlap => self.trace.isl_flaps += count,
                 FaultKind::Blackout => self.trace.blackout_windows += count,
+            },
+            Payload::Heartbeat { .. } => self.trace.heartbeats += 1,
+            Payload::Health { event, value, .. } => match event {
+                HealthEvent::Suspect => self.trace.suspects += 1,
+                HealthEvent::FalseSuspect => self.trace.false_suspects += 1,
+                HealthEvent::Dead => {
+                    self.trace.detections += 1;
+                    // `value` carries the ground-truth failure → DEAD
+                    // declaration gap, so replay reproduces the latency
+                    // population without re-running the detector.
+                    self.trace.record_detection_latency(value);
+                }
+                HealthEvent::Readmit => self.trace.readmissions += 1,
             },
         }
     }

@@ -72,6 +72,10 @@ pub use sudc_core as core;
 /// QoS-contracted pub/sub data plane (topics, recording, replay).
 pub use sudc_bus as bus;
 
+/// Closed-loop health plane: failure detection, quarantine, and
+/// degraded-mode pool accounting.
+pub use sudc_health as health;
+
 /// Deterministic discrete-event constellation operations simulator.
 pub use sudc_sim as sim;
 

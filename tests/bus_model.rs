@@ -166,6 +166,7 @@ fn qos_corner(sel: u8) -> LoweredQos {
         max_retries,
         history_depth,
         transient_local,
+        lease_ticks: 0,
     }
 }
 
@@ -191,6 +192,7 @@ proptest! {
             max_retries: 3,
             history_depth: 0,
             transient_local: false,
+            lease_ticks: 0,
         });
         let mut now = 0;
         for (i, dt) in ticks.iter().enumerate() {
@@ -217,6 +219,7 @@ proptest! {
             max_retries: budget,
             history_depth: 0,
             transient_local: false,
+            lease_ticks: 0,
         });
         for i in 0..samples {
             ch.publish(0, i as u64);
@@ -246,6 +249,7 @@ proptest! {
             max_retries: 0,
             history_depth: 0,
             transient_local: false,
+            lease_ticks: 0,
         });
         let mut now = 0;
         let mut published = Vec::new();
@@ -280,6 +284,7 @@ proptest! {
             max_retries: 0,
             history_depth: depth,
             transient_local: false,
+            lease_ticks: 0,
         });
         for i in 0..burst {
             ch.publish(i as Tick, i as u64);

@@ -15,12 +15,13 @@ use proptest::prelude::*;
 use space_udc::accel::dse::{try_gpu_joules_per_mac, try_run_dse};
 use space_udc::accel::energy::EnergyTable;
 use space_udc::accel::AcceleratorConfig;
-use space_udc::bus::{BusConfig, Durability, QosContract};
+use space_udc::bus::{BusConfig, Durability, LivelinessQos, QosContract};
 use space_udc::chaos::ChaosSummary;
 use space_udc::core::dynamics::DynamicScenario;
 use space_udc::core::tco::TcoReport;
 use space_udc::core::{Scenario, SuDcDesign};
 use space_udc::errors::SudcError;
+use space_udc::health::HealthConfig;
 use space_udc::orbital::radiation::{
     try_dose_rate, try_mission_dose, RadiationRegime, TidAssessment,
 };
@@ -583,6 +584,67 @@ proptest! {
     }
 
     #[test]
+    fn health_contract_try_forms_reject_exactly_hostile_leases(
+        sel in 0u32..8, tick_sel in 0u32..8, mag in 1.0..9.0f64,
+        suspect in 0u32..4, dead in 0u32..6, probation in 0u32..4,
+    ) {
+        let h = hostile(sel, mag);
+        // The bus LIVELINESS lease accepts exactly positive finite
+        // seconds; a zero lease means "disabled" and must go through
+        // `LivelinessQos::disabled`, never `try_automatic`.
+        let liveliness = LivelinessQos::try_automatic(h);
+        prop_assert_eq!(liveliness.is_ok(), h.is_finite() && h > 0.0);
+        if let Err(e) = liveliness {
+            prop_assert!(structured(&e), "{e}");
+        }
+
+        // The detector contract additionally orders its thresholds:
+        // SUSPECT must precede DEAD, and zero-count thresholds are
+        // contradictions, not "disabled".
+        let cfg = HealthConfig {
+            lease_s: h,
+            suspect_missed: suspect,
+            dead_missed: dead,
+            probation_leases: probation,
+            ..HealthConfig::standard()
+        };
+        let contract_ok = h.is_finite()
+            && h > 0.0
+            && suspect >= 1
+            && probation >= 1
+            && dead > suspect;
+        let result = cfg.try_validate();
+        prop_assert_eq!(result.is_ok(), contract_ok);
+        if let Err(e) = result {
+            prop_assert!(structured(&e), "{e}");
+        }
+        // The liveliness projection depends on the lease alone.
+        let projected = cfg.try_liveliness();
+        prop_assert_eq!(projected.is_ok(), h.is_finite() && h > 0.0);
+        if let Err(e) = projected {
+            prop_assert!(structured(&e), "{e}");
+        }
+
+        // Lowering validates contract and tick at once; a lease that
+        // rounds to zero ticks is a structured error, not a silent
+        // always-dead detector.
+        let tick = hostile(tick_sel, mag);
+        let lowered = cfg.try_lower(tick);
+        let tick_ok = tick.is_finite() && tick > 0.0;
+        if !(contract_ok && tick_ok) {
+            prop_assert!(lowered.is_err());
+        }
+        match lowered {
+            Ok(l) => {
+                prop_assert!(l.lease_ticks >= 1);
+            }
+            Err(e) => {
+                prop_assert!(structured(&e), "{e}");
+            }
+        }
+    }
+
+    #[test]
     fn router_try_route_stream_rejects_exactly_invalid_streams(
         sel in 0u32..8, mag in 1.0..9.0f64, requests in 1u64..5000,
     ) {
@@ -643,6 +705,21 @@ fn replication_try_forms_reject_degenerate_studies() {
     // And the valid short study still runs through the fallible path.
     let study = SimSummary::try_study(&cfg, 2, DEFAULT_SEED).expect("short study runs");
     assert_eq!(study.reps, 2);
+}
+
+#[test]
+fn sub_tick_leases_error_at_lowering_instead_of_rounding_to_zero() {
+    let cfg = HealthConfig {
+        lease_s: 1e-9,
+        ..HealthConfig::standard()
+    };
+    // The wall-clock contract is fine; only the lowering onto a 0.1 s
+    // grid is impossible, and it must say so rather than produce a
+    // detector whose lease is zero ticks.
+    cfg.try_validate().expect("positive finite lease validates");
+    let err = cfg.try_lower(0.1).unwrap_err();
+    assert!(structured(&err), "{err}");
+    assert!(err.to_string().contains("lease"), "{err}");
 }
 
 #[test]
